@@ -1,0 +1,61 @@
+"""Fig. 13: strong scaling.
+
+(a) 19.3-billion-cell TGV on Sunway, 3,072 -> 98,304 nodes;
+(b) 9.7-billion-cell system on Fugaku, 4,608 -> 73,728 nodes;
+both in FP32 and mixed-FP16.
+
+Paper anchors at max scale: Sunway 40.7 % (mixed) / 66.0 % (fp32)
+efficiency, 522.9 / 299.3 PFlop/s; Fugaku 60.5 % / 72.7 %, 208.6 /
+143.8 PFlop/s; ToS 2.7e-9 (Sunway) and 7.7e-9 (Fugaku) s/DoF/cycle."""
+
+from repro.runtime import (
+    FUGAKU,
+    SUNWAY,
+    OptimizationConfig,
+    strong_scaling,
+    tgv_workload,
+)
+
+from .conftest import emit
+
+
+def _series_lines(series, paper_last_eff):
+    lines = []
+    for p in series.points:
+        lines.append(f"  {p.nodes:6d} nodes  loop {p.loop_time:8.3f} s  "
+                     f"{p.pflops:7.1f} PF  eff {p.efficiency*100:5.1f} %  "
+                     f"ToS {p.time_to_solution:.2e}")
+    lines.append(f"  (paper efficiency at max scale: {paper_last_eff*100:.1f} %)")
+    return lines
+
+
+def test_fig13a_sunway_strong(benchmark):
+    wl = tgv_workload(19_327_352_832)
+    nodes = [3072, 6144, 12288, 24576, 49152, 98304]
+    s16 = benchmark(strong_scaling, SUNWAY, wl, nodes)
+    s32 = strong_scaling(SUNWAY, wl, nodes,
+                         OptimizationConfig.optimized(mixed_precision=False))
+    lines = ["Sunway, 19.3 B cells, mixed-FP16:"]
+    lines += _series_lines(s16, 0.407)
+    lines += ["Sunway, FP32:"]
+    lines += _series_lines(s32, 0.660)
+    assert abs(s16.efficiencies()[-1] - 0.407) < 0.08
+    assert abs(s32.efficiencies()[-1] - 0.660) < 0.09
+    # mixed precision remains faster despite lower efficiency
+    assert s16.points[-1].loop_time < s32.points[-1].loop_time
+    emit("Fig. 13(a): Sunway strong scaling", lines)
+
+
+def test_fig13b_fugaku_strong(benchmark):
+    wl = tgv_workload(9_663_676_416)
+    nodes = [4608, 9216, 18432, 36864, 73728]
+    s16 = benchmark(strong_scaling, FUGAKU, wl, nodes)
+    s32 = strong_scaling(FUGAKU, wl, nodes,
+                         OptimizationConfig.optimized(mixed_precision=False))
+    lines = ["Fugaku, 9.7 B cells, mixed-FP16:"]
+    lines += _series_lines(s16, 0.605)
+    lines += ["Fugaku, FP32:"]
+    lines += _series_lines(s32, 0.727)
+    assert abs(s16.efficiencies()[-1] - 0.605) < 0.08
+    assert abs(s32.efficiencies()[-1] - 0.727) < 0.08
+    emit("Fig. 13(b): Fugaku strong scaling", lines)

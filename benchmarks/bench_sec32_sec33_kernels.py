@@ -1,0 +1,139 @@
+"""Sec. 3.2.2 / 3.3.1 / 3.3.2 kernel-level claims, measured.
+
+* format conversion: LDU -> block-CSR value update costs about one
+  SpMV (paper: "comparable to that of a single SpMV"),
+* mixed precision: FP16 linear layers gain ~peak-ratio speedups (the
+  paper's 4.24x/2.13x are hardware numbers; here we verify the model's
+  accounting and the numerical-equivalence side),
+* GeLU tabulation: table evaluation avoids tanh and keeps errors at
+  the 1e-6 level inside the table range,
+* block-parallel Gauss-Seidel convergence penalty (<0.1 %/iteration
+  claim, Sec. 3.2.3)."""
+
+import time
+
+import numpy as np
+
+from repro.dnn import GeLUTable, gelu_exact
+from repro.mesh import (
+    build_rocket_mesh,
+    cell_graph_from_mesh,
+    partition_renumbering,
+)
+from repro.partition import partition_graph
+from repro.sparse import SmootherStats, build_block_converter, spmv_ldu
+from repro.runtime import FUGAKU, SUNWAY
+from tests.conftest import make_laplacian_ldu
+
+from .conftest import emit
+
+
+def _block_setup(t=8):
+    mesh = build_rocket_mesh(nr=10, ntheta_per_sector=12, nz=36, n_sectors=2)
+    g = cell_graph_from_mesh(mesh)
+    mem = partition_graph(g, t)
+    perm = partition_renumbering(g, mem)
+    mesh2 = mesh.renumbered(perm)
+    ldu = make_laplacian_ldu(mesh2)
+    conv = build_block_converter(ldu, mem[np.argsort(perm)])
+    return ldu, conv, conv.convert(ldu)
+
+
+def test_sec322_conversion_cost_vs_spmv(benchmark):
+    ldu, conv, blk = _block_setup()
+    x = np.random.default_rng(0).random(ldu.n)
+
+    def update():
+        conv.update_values(blk, ldu)
+
+    benchmark(update)
+    t_update = benchmark.stats["mean"]
+    reps = 20
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        spmv_ldu(ldu, x)
+    t_spmv = (time.perf_counter() - t0) / reps
+    lines = [
+        f"LDU->block value update: {t_update*1e6:9.1f} us",
+        f"one LDU SpMV           : {t_spmv*1e6:9.1f} us",
+        f"ratio                  : {t_update/t_spmv:6.2f}  "
+        "(paper: 'comparable to a single SpMV')",
+    ]
+    assert t_update < 12.0 * t_spmv  # same order of magnitude
+    emit("Sec. 3.2.2: format conversion cost", lines)
+
+
+def test_sec323_block_gs_penalty(benchmark):
+    ldu, conv, blk = _block_setup()
+    stats = SmootherStats(ldu, blk)
+    b = np.random.default_rng(1).random(ldu.n)
+
+    benchmark(lambda: stats.residual_histories(b, np.zeros_like(b), 3))
+    hs, hb = stats.residual_histories(b, np.zeros_like(b), 12)
+    per_sweep_penalty = (hb[-1] / hs[-1]) ** (1.0 / 12.0) - 1.0
+    lines = [
+        f"serial GS residual after 12 sweeps: {hs[-1]:.4e}",
+        f"block  GS residual after 12 sweeps: {hb[-1]:.4e}",
+        f"per-sweep convergence penalty: {per_sweep_penalty*100:+.3f} %  "
+        "(paper: <0.1 % residual increase/iteration)",
+    ]
+    assert hb[-1] < hb[0]  # still converges
+    assert per_sweep_penalty < 0.05
+    emit("Sec. 3.2.3: block-parallel GS penalty", lines)
+
+
+def test_sec331_mixed_precision_accounting(benchmark):
+    """Machine-peak accounting of the FP16 linear-layer gains."""
+    ratio_sw = SUNWAY.peak_fp16_node / SUNWAY.peak_fp32_node
+    ratio_fg = FUGAKU.peak_fp16_node / FUGAKU.peak_fp32_node
+    from repro.runtime.perf_model import CALIBRATION
+
+    gain_sw = ratio_sw * CALIBRATION["Sunway"]["fp16_lin_bonus"]
+    gain_fg = ratio_fg * CALIBRATION["Fugaku"]["fp16_lin_bonus"]
+    lines = [
+        f"Sunway linear-layer fp16 gain: {gain_sw:.2f}x (paper: 4.24x)",
+        f"Fugaku linear-layer fp16 gain: {gain_fg:.2f}x (paper: 2.13x)",
+    ]
+    assert abs(gain_sw - 4.24) < 0.2
+    assert abs(gain_fg - 2.13) < 0.1
+
+    # numerical equivalence side (Sec. 5.1 support): fp16 matmul on
+    # z-scored data stays within ~1e-2 relative
+    from repro.dnn import mixed_linear_forward
+
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=(512, 64))
+    w = rng.normal(size=(64, 64)) * 0.15
+    bvec = rng.normal(size=64) * 0.1
+    exact = x @ w.T + bvec
+
+    out = benchmark(mixed_linear_forward, x, w, bvec)
+    rel = np.abs(out - exact).max() / np.abs(exact).max()
+    lines.append(f"fp16 linear relative error on z-scored data: {rel:.2e}")
+    assert rel < 2e-2
+    emit("Sec. 3.3.1: mixed precision", lines)
+
+
+def test_sec332_gelu_tabulation(benchmark):
+    x = np.random.default_rng(3).normal(size=1_000_000).astype(np.float32)
+    tab = GeLUTable(precision="fp32")
+
+    benchmark(tab, x)
+    t_tab = benchmark.stats["mean"]
+    t0 = time.perf_counter()
+    gelu_exact(x)
+    t_exact = time.perf_counter() - t0
+
+    xs = np.linspace(-2.99, 2.99, 100_001)
+    interior_err = np.abs(tab(xs).astype(np.float64) - gelu_exact(xs)).max()
+    lines = [
+        f"exact tanh GeLU, 1e6 elements: {t_exact*1e3:8.2f} ms",
+        f"2nd-order table, 1e6 elements: {t_tab*1e3:8.2f} ms",
+        f"table entries: {tab.n_entries} over [-3,3] at 0.01 "
+        "(paper's construction)",
+        f"max interior error: {interior_err:.2e}; tail-clamp error "
+        f"{tab.max_error():.2e} (= the paper's own x<-3 -> 0 approximation)",
+    ]
+    assert interior_err < 1e-5
+    assert tab.max_error() < 5e-3
+    emit("Sec. 3.3.2: GeLU tabulation", lines)

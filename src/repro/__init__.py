@@ -1,0 +1,43 @@
+"""repro: reproduction of "Deep Learning-Enabled Supercritical Flame
+Simulation at Detailed Chemistry and Real-Fluid Accuracy Towards
+Trillion-Cell Scale" (SC '25).
+
+Subpackages
+-----------
+``chemistry``
+    Detailed kinetics: 17-species/44-reaction LOX/CH4 mechanism,
+    NASA-7 thermo, stiff BDF/RK4/Rosenbrock integrators, reactors.
+``thermo``
+    Peng-Robinson / SRK real-fluid EoS, departure functions,
+    high-pressure transport.
+``mesh``
+    Unstructured meshes (TGV box, rocket combustor), graphs,
+    Cuthill-McKee renumbering, runtime refinement.
+``partition``
+    Multilevel recursive-bisection partitioner (SCOTCH substitute),
+    two-level process x thread decomposition.
+``sparse``
+    LDU and t x t block-CSR formats, SpMV, Gauss-Seidel.
+``solvers``
+    PCG, PBiCGStab, GAMG, DIC/Jacobi/GS preconditioning.
+``fv``
+    Implicit/explicit finite-volume operators, boundary conditions,
+    conflict-avoiding parallel assembly.
+``dnn``
+    From-scratch MLP stack: training, FP16 emulation, GeLU
+    tabulation, ODENet and PRNet surrogates, inference engine.
+``runtime``
+    Machine models of Sunway/Fugaku/LS, communication cost model,
+    calibrated performance model, scaling drivers.
+``io``
+    Collated files, Foam file indexing, grouped parallel I/O,
+    runtime-refinement pipeline.
+``core``
+    The DeepFlame solver and the TGV / rocket cases.
+"""
+
+__version__ = "1.0.0"
+
+from . import constants  # noqa: F401
+
+__all__ = ["constants", "__version__"]

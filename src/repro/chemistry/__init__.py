@@ -1,0 +1,49 @@
+"""Detailed chemical kinetics substrate.
+
+Species thermodynamics (NASA-7), the built-in 17-species/44-reaction
+LOX/CH4 skeletal mechanism, vectorized production rates, stiff/explicit
+ODE integrators and the constant-pressure reactor used for surrogate
+training and accuracy references.
+"""
+
+from .kinetics import KineticsEvaluator
+from .mechanism import Mechanism
+from .ode import BDFIntegrator, Rosenbrock2, WorkCounters, integrate_rk4
+from .rates import Arrhenius, Reaction, TroeParams
+from .reactor import (
+    ConstantPressureReactor,
+    ReactorState,
+    mixture_line,
+    premixed_state,
+)
+from .species import Nasa7Poly, Species, fit_nasa7
+
+
+def load_mechanism(name: str = "lox_ch4_17sp") -> Mechanism:
+    """Load a built-in mechanism by name."""
+    if name in ("lox_ch4_17sp", "lox_ch4_17sp_44rxn"):
+        from .data.lox_ch4_17sp import build_mechanism
+
+        return build_mechanism()
+    raise KeyError(f"unknown mechanism {name!r}")
+
+
+__all__ = [
+    "Arrhenius",
+    "BDFIntegrator",
+    "ConstantPressureReactor",
+    "KineticsEvaluator",
+    "Mechanism",
+    "Nasa7Poly",
+    "Reaction",
+    "ReactorState",
+    "Rosenbrock2",
+    "Species",
+    "TroeParams",
+    "WorkCounters",
+    "fit_nasa7",
+    "integrate_rk4",
+    "load_mechanism",
+    "mixture_line",
+    "premixed_state",
+]

@@ -1,0 +1,247 @@
+"""Built-in skeletal LOX/CH4 mechanism: 17 species, 44 reactions.
+
+The paper uses the 17-species / 44-reaction reduced mechanism of
+Monnier & Ribert (2022) for high-pressure methane-oxygen combustion.
+That mechanism is not redistributable, so this module provides a
+same-size skeletal CH4/O2 mechanism assembled from standard C1 chain
+reactions with GRI-style rate parameters and self-consistent NASA-7
+thermodynamics (see DESIGN.md, "Substitutions").  It has the same
+species count, the same ~2.6 reactions/species density, the same
+H2/O2 + CO + C1 structure and comparable stiffness, which is what the
+paper's compute experiments exercise.
+
+Species (17): CH4 CH3 CH3O CH2O HCO CO CO2 C2H6 H2 H O2 O OH H2O HO2
+H2O2 N2.
+
+Thermo anchors: formation enthalpies and standard entropies are
+JANAF/Burcat textbook values; cp(T) anchors are fit with a cubic.
+Critical constants are NIST values for stable species and
+pseudo-critical estimates for radicals (common practice in
+supercritical combustion solvers).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..mechanism import Mechanism
+from ..rates import Arrhenius, Reaction, TroeParams
+from ..species import Species, fit_nasa7
+
+__all__ = ["build_mechanism"]
+
+_KJ = 1000.0  # kJ/mol -> J/mol
+_ANG = 1e-10  # Angstrom -> m
+
+# name: (composition, Hf298 [kJ/mol], S298 [J/mol/K],
+#        {T: cp [J/mol/K]}, Tc [K], Pc [Pa], omega, LJ sigma [A], LJ eps/kB [K])
+_SPECIES_DATA = {
+    "CH4": ({"C": 1, "H": 4}, -74.87, 186.25,
+            {300: 35.76, 1000: 71.80, 2000: 94.40, 3000: 101.4},
+            190.56, 4.599e6, 0.011, 3.746, 141.4),
+    "CH3": ({"C": 1, "H": 3}, 145.69, 194.17,
+            {300: 38.70, 1000: 59.20, 2000: 72.50, 3000: 77.00},
+            300.0, 5.0e6, 0.05, 3.800, 144.0),
+    "CH3O": ({"C": 1, "H": 3, "O": 1}, 17.0, 234.3,
+             {300: 39.00, 1000: 72.00, 2000: 88.00, 3000: 93.00},
+             400.0, 6.0e6, 0.10, 3.690, 417.0),
+    "CH2O": ({"C": 1, "H": 2, "O": 1}, -108.6, 218.95,
+             {300: 35.42, 1000: 59.50, 2000: 72.00, 3000: 76.10},
+             408.0, 6.59e6, 0.282, 3.590, 498.0),
+    "HCO": ({"C": 1, "H": 1, "O": 1}, 43.51, 224.69,
+            {300: 34.60, 1000: 47.50, 2000: 54.50, 3000: 56.60},
+            350.0, 5.5e6, 0.10, 3.590, 498.0),
+    "CO": ({"C": 1, "O": 1}, -110.53, 197.66,
+           {300: 29.14, 1000: 33.18, 2000: 36.25, 3000: 37.22},
+           132.86, 3.494e6, 0.050, 3.650, 98.1),
+    "CO2": ({"C": 1, "O": 2}, -393.52, 213.79,
+            {300: 37.22, 1000: 54.31, 2000: 60.35, 3000: 62.23},
+            304.13, 7.377e6, 0.224, 3.763, 244.0),
+    "C2H6": ({"C": 2, "H": 6}, -83.85, 229.16,
+             {300: 52.49, 1000: 105.7, 2000: 135.0, 3000: 145.0},
+             305.32, 4.872e6, 0.099, 4.302, 252.3),
+    "H2": ({"H": 2}, 0.0, 130.68,
+           {300: 28.85, 1000: 30.20, 2000: 34.28, 3000: 37.09},
+           33.14, 1.296e6, -0.219, 2.920, 38.0),
+    "H": ({"H": 1}, 217.99, 114.72,
+          {300: 20.786, 1000: 20.786, 2000: 20.786, 3000: 20.786},
+          33.14, 1.296e6, -0.219, 2.050, 145.0),
+    "O2": ({"O": 2}, 0.0, 205.15,
+           {300: 29.39, 1000: 34.88, 2000: 37.78, 3000: 39.87},
+           154.58, 5.043e6, 0.022, 3.458, 107.4),
+    "O": ({"O": 1}, 249.18, 161.06,
+          {300: 21.90, 1000: 20.92, 2000: 20.83, 3000: 20.94},
+          154.58, 5.043e6, 0.022, 2.750, 80.0),
+    "OH": ({"O": 1, "H": 1}, 38.99, 183.74,
+           {300: 29.93, 1000: 30.67, 2000: 34.76, 3000: 36.56},
+           400.0, 8.0e6, 0.20, 2.750, 80.0),
+    "H2O": ({"H": 2, "O": 1}, -241.83, 188.84,
+            {300: 33.59, 1000: 41.27, 2000: 51.18, 3000: 55.74},
+            647.10, 22.064e6, 0.344, 2.605, 572.4),
+    "HO2": ({"H": 1, "O": 2}, 12.30, 229.10,
+            {300: 34.90, 1000: 46.00, 2000: 53.00, 3000: 55.00},
+            350.0, 7.0e6, 0.20, 3.458, 107.4),
+    "H2O2": ({"H": 2, "O": 2}, -135.88, 232.70,
+             {300: 43.10, 1000: 62.00, 2000: 71.00, 3000: 74.00},
+             728.0, 22.0e6, 0.36, 3.458, 107.4),
+    "N2": ({"N": 2}, 0.0, 191.61,
+           {300: 29.12, 1000: 32.70, 2000: 35.97, 3000: 37.03},
+           126.19, 3.396e6, 0.037, 3.621, 97.53),
+}
+
+# Default third-body efficiencies (GRI-style).
+_EFF = {"H2O": 6.0, "H2": 2.0, "CO": 1.5, "CO2": 2.0, "CH4": 2.0}
+
+
+def _species() -> list[Species]:
+    out = []
+    for name, (comp, hf, s298, cps, tc, pc, om, sig, eps) in _SPECIES_DATA.items():
+        cp_r = {t: cp / 8.31446261815324 for t, cp in cps.items()}
+        out.append(
+            Species(
+                name=name,
+                composition=comp,
+                thermo=fit_nasa7(cp_r, hf * _KJ, s298),
+                t_crit=tc,
+                p_crit=pc,
+                omega=om,
+                lj_sigma=sig * _ANG,
+                lj_eps_kb=eps,
+            )
+        )
+    return out
+
+
+def _rxn(eq, reac, prod, a, b, ea, *, order=None, rev=True, tb=False,
+         eff=None, low=None, troe=None):
+    """Helper: build a Reaction from CGS/cal rate data."""
+    if order is None:
+        order = int(round(sum(reac.values()))) + (1 if tb else 0)
+    low_rate = None
+    if low is not None:
+        low_rate = Arrhenius.from_cgs(low[0], low[1], low[2], order + 1)
+    return Reaction(
+        equation=eq,
+        reactants=reac,
+        products=prod,
+        rate=Arrhenius.from_cgs(a, b, ea, order),
+        reversible=rev,
+        third_body=tb,
+        efficiencies=dict(_EFF if eff is None else eff),
+        low_rate=low_rate,
+        troe=TroeParams(*troe) if troe is not None else None,
+    )
+
+
+def _reactions() -> list[Reaction]:
+    R = _rxn
+    return [
+        # --- H2/O2 chain (1-18) --------------------------------------
+        R("H + O2 <=> O + OH", {"H": 1, "O2": 1}, {"O": 1, "OH": 1},
+          2.65e16, -0.6707, 17041.0),
+        R("O + H2 <=> H + OH", {"O": 1, "H2": 1}, {"H": 1, "OH": 1},
+          3.87e4, 2.7, 6260.0),
+        R("OH + H2 <=> H + H2O", {"OH": 1, "H2": 1}, {"H": 1, "H2O": 1},
+          2.16e8, 1.51, 3430.0),
+        R("2 OH <=> O + H2O", {"OH": 2}, {"O": 1, "H2O": 1},
+          3.57e4, 2.4, -2110.0),
+        R("2 H + M <=> H2 + M", {"H": 2}, {"H2": 1},
+          1.00e18, -1.0, 0.0, tb=True),
+        R("H + OH + M <=> H2O + M", {"H": 1, "OH": 1}, {"H2O": 1},
+          2.20e22, -2.0, 0.0, tb=True),
+        R("2 O + M <=> O2 + M", {"O": 2}, {"O2": 1},
+          1.20e17, -1.0, 0.0, tb=True),
+        R("H + O2 (+M) <=> HO2 (+M)", {"H": 1, "O2": 1}, {"HO2": 1},
+          4.65e12, 0.44, 0.0,
+          low=(6.366e20, -1.72, 524.8), troe=(0.5, 1e-30, 1e30, None)),
+        R("HO2 + H <=> 2 OH", {"HO2": 1, "H": 1}, {"OH": 2},
+          8.40e13, 0.0, 635.0),
+        R("HO2 + H <=> H2 + O2", {"HO2": 1, "H": 1}, {"H2": 1, "O2": 1},
+          4.48e13, 0.0, 1068.0),
+        R("HO2 + O <=> OH + O2", {"HO2": 1, "O": 1}, {"OH": 1, "O2": 1},
+          3.25e13, 0.0, 0.0),
+        R("HO2 + OH <=> H2O + O2", {"HO2": 1, "OH": 1}, {"H2O": 1, "O2": 1},
+          2.89e13, 0.0, -497.0),
+        R("2 HO2 <=> H2O2 + O2", {"HO2": 2}, {"H2O2": 1, "O2": 1},
+          1.30e11, 0.0, -1630.0),
+        R("H2O2 (+M) <=> 2 OH (+M)", {"H2O2": 1}, {"OH": 2},
+          2.95e14, 0.0, 48430.0,
+          low=(1.20e17, 0.0, 45500.0), troe=(0.5, 1e-30, 1e30, None)),
+        R("H2O2 + H <=> H2O + OH", {"H2O2": 1, "H": 1}, {"H2O": 1, "OH": 1},
+          2.41e13, 0.0, 3970.0),
+        R("H2O2 + H <=> HO2 + H2", {"H2O2": 1, "H": 1}, {"HO2": 1, "H2": 1},
+          4.82e13, 0.0, 7950.0),
+        R("H2O2 + O <=> OH + HO2", {"H2O2": 1, "O": 1}, {"OH": 1, "HO2": 1},
+          9.55e6, 2.0, 3970.0),
+        R("H2O2 + OH <=> H2O + HO2", {"H2O2": 1, "OH": 1}, {"H2O": 1, "HO2": 1},
+          1.00e12, 0.0, 0.0),
+        # --- CO oxidation (19-22) ------------------------------------
+        R("CO + OH <=> CO2 + H", {"CO": 1, "OH": 1}, {"CO2": 1, "H": 1},
+          4.76e7, 1.228, 70.0),
+        R("CO + HO2 <=> CO2 + OH", {"CO": 1, "HO2": 1}, {"CO2": 1, "OH": 1},
+          1.50e14, 0.0, 23600.0),
+        R("CO + O2 <=> CO2 + O", {"CO": 1, "O2": 1}, {"CO2": 1, "O": 1},
+          2.50e12, 0.0, 47800.0),
+        R("CO + O + M <=> CO2 + M", {"CO": 1, "O": 1}, {"CO2": 1},
+          6.02e14, 0.0, 3000.0, tb=True),
+        # --- CH4 consumption (23-26) ---------------------------------
+        R("CH4 + H <=> CH3 + H2", {"CH4": 1, "H": 1}, {"CH3": 1, "H2": 1},
+          6.60e8, 1.62, 10840.0),
+        R("CH4 + O <=> CH3 + OH", {"CH4": 1, "O": 1}, {"CH3": 1, "OH": 1},
+          1.02e9, 1.5, 8600.0),
+        R("CH4 + OH <=> CH3 + H2O", {"CH4": 1, "OH": 1}, {"CH3": 1, "H2O": 1},
+          1.00e8, 1.6, 3120.0),
+        R("CH4 + HO2 <=> CH3 + H2O2", {"CH4": 1, "HO2": 1}, {"CH3": 1, "H2O2": 1},
+          1.00e13, 0.0, 24640.0),
+        # --- CH3 chain (27-31) ---------------------------------------
+        R("CH3 + O <=> CH2O + H", {"CH3": 1, "O": 1}, {"CH2O": 1, "H": 1},
+          5.06e13, 0.0, 0.0),
+        R("CH3 + OH <=> CH2O + H2", {"CH3": 1, "OH": 1}, {"CH2O": 1, "H2": 1},
+          8.00e12, 0.0, 0.0),
+        R("CH3 + O2 <=> CH3O + O", {"CH3": 1, "O2": 1}, {"CH3O": 1, "O": 1},
+          3.08e13, 0.0, 28800.0),
+        R("CH3 + O2 <=> CH2O + OH", {"CH3": 1, "O2": 1}, {"CH2O": 1, "OH": 1},
+          3.60e10, 0.0, 8940.0),
+        R("CH3 + HO2 <=> CH3O + OH", {"CH3": 1, "HO2": 1}, {"CH3O": 1, "OH": 1},
+          2.00e13, 0.0, 0.0),
+        # --- CH3O (32-33) --------------------------------------------
+        R("CH3O + M <=> CH2O + H + M", {"CH3O": 1}, {"CH2O": 1, "H": 1},
+          5.45e13, 0.0, 13500.0, tb=True),
+        R("CH3O + O2 <=> CH2O + HO2", {"CH3O": 1, "O2": 1}, {"CH2O": 1, "HO2": 1},
+          4.28e-13, 7.6, -3530.0),
+        # --- CH2O (34-37) --------------------------------------------
+        R("CH2O + H <=> HCO + H2", {"CH2O": 1, "H": 1}, {"HCO": 1, "H2": 1},
+          5.74e7, 1.9, 2742.0),
+        R("CH2O + O <=> HCO + OH", {"CH2O": 1, "O": 1}, {"HCO": 1, "OH": 1},
+          3.90e13, 0.0, 3540.0),
+        R("CH2O + OH <=> HCO + H2O", {"CH2O": 1, "OH": 1}, {"HCO": 1, "H2O": 1},
+          3.43e9, 1.18, -447.0),
+        R("CH2O + O2 <=> HCO + HO2", {"CH2O": 1, "O2": 1}, {"HCO": 1, "HO2": 1},
+          1.00e14, 0.0, 40000.0),
+        # --- HCO (38-41) ---------------------------------------------
+        R("HCO + M <=> CO + H + M", {"HCO": 1}, {"CO": 1, "H": 1},
+          1.87e17, -1.0, 17000.0, tb=True),
+        R("HCO + H <=> CO + H2", {"HCO": 1, "H": 1}, {"CO": 1, "H2": 1},
+          7.34e13, 0.0, 0.0),
+        R("HCO + O2 <=> CO + HO2", {"HCO": 1, "O2": 1}, {"CO": 1, "HO2": 1},
+          1.345e13, 0.0, 400.0),
+        R("HCO + OH <=> CO + H2O", {"HCO": 1, "OH": 1}, {"CO": 1, "H2O": 1},
+          3.011e13, 0.0, 0.0),
+        # --- recombination / C2 reservoir (42-44) --------------------
+        R("2 CH3 (+M) <=> C2H6 (+M)", {"CH3": 2}, {"C2H6": 1},
+          6.77e16, -1.18, 654.0,
+          low=(3.40e41, -7.03, 2762.0), troe=(0.619, 73.2, 1180.0, 9999.0)),
+        R("CH3 + H (+M) <=> CH4 (+M)", {"CH3": 1, "H": 1}, {"CH4": 1},
+          1.39e16, -0.534, 536.0,
+          low=(2.62e33, -4.76, 2440.0), troe=(0.783, 74.0, 2941.0, 6964.0)),
+        R("CH3 + HO2 <=> CH4 + O2", {"CH3": 1, "HO2": 1}, {"CH4": 1, "O2": 1},
+          1.00e12, 0.0, 0.0),
+    ]
+
+
+@lru_cache(maxsize=1)
+def build_mechanism() -> Mechanism:
+    """Construct the built-in 17-species / 44-reaction LOX/CH4 mechanism."""
+    mech = Mechanism(_species(), _reactions(), name="lox_ch4_17sp_44rxn")
+    assert mech.n_species == 17 and mech.n_reactions == 44
+    return mech

@@ -1,0 +1,142 @@
+"""Vectorized chemical kinetics: production rates over batches of cells.
+
+This is the "conventional" (non-DNN) chemistry path: the exact
+evaluation of species net production rates that the stiff ODE
+integrator and the reference solutions use, and the ground truth the
+ODENet surrogate is trained against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import R_UNIVERSAL
+from .mechanism import Mechanism
+
+__all__ = ["KineticsEvaluator"]
+
+
+class KineticsEvaluator:
+    """Evaluates net production rates for batches of thermochemical states.
+
+    All public methods are vectorized over a leading batch axis so a
+    whole mesh block can be evaluated in a handful of numpy kernels.
+    """
+
+    def __init__(self, mechanism: Mechanism):
+        self.mech = mechanism
+        # Per-reaction sparse stoichiometry for fast concentration
+        # products: lists of (species_index, power) tuples.
+        self._fwd_terms = [
+            [(i, p) for i, p in enumerate(row) if p > 0]
+            for row in mechanism.nu_forward
+        ]
+        self._rev_terms = [
+            [(i, p) for i, p in enumerate(row) if p > 0]
+            for row in mechanism.nu_reverse
+        ]
+
+    # ----------------------------------------------------------------
+    def concentrations(self, rho: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Molar concentrations [mol/m^3] from density and mass fractions."""
+        rho = np.asarray(rho, dtype=float)
+        return rho[..., None] * y / self.mech.molecular_weights
+
+    def density_ideal(self, t: np.ndarray, p: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Ideal-gas density [kg/m^3]."""
+        w = self.mech.mean_molecular_weight(y)
+        return np.asarray(p) * w / (R_UNIVERSAL * np.asarray(t))
+
+    # ----------------------------------------------------------------
+    def rates_of_progress(
+        self, t: np.ndarray, conc: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Forward and net rates of progress, shape ``(n, n_reactions)``.
+
+        Parameters
+        ----------
+        t:
+            Temperature [K], shape ``(n,)``.
+        conc:
+            Concentrations [mol/m^3], shape ``(n, n_species)``.
+        """
+        t = np.atleast_1d(np.asarray(t, dtype=float))
+        conc = np.atleast_2d(np.asarray(conc, dtype=float))
+        conc_pos = np.maximum(conc, 0.0)
+        n = t.shape[0]
+        mech = self.mech
+        nr = mech.n_reactions
+
+        kc = mech.equilibrium_constants(t)  # (n, nr)
+        q_fwd = np.empty((n, nr))
+        q_net = np.empty((n, nr))
+        m_eff = conc_pos @ mech.efficiencies.T  # (n, nr); zero rows unused
+
+        for j, rxn in enumerate(mech.reactions):
+            m_j = m_eff[:, j] if (rxn.third_body or rxn.is_falloff) else None
+            kf = rxn.forward_rate_constant(t, m_j)
+            prod_f = np.ones(n)
+            for i, p in self._fwd_terms[j]:
+                prod_f = prod_f * (conc_pos[:, i] if p == 1 else conc_pos[:, i] ** p)
+            qf = kf * prod_f
+            if rxn.third_body:
+                qf = qf * m_j
+            if rxn.reversible:
+                kr = kf / np.maximum(kc[:, j], 1e-300)
+                prod_r = np.ones(n)
+                for i, p in self._rev_terms[j]:
+                    prod_r = prod_r * (
+                        conc_pos[:, i] if p == 1 else conc_pos[:, i] ** p
+                    )
+                qr = kr * prod_r
+                if rxn.third_body:
+                    qr = qr * m_j
+            else:
+                qr = 0.0
+            q_fwd[:, j] = qf
+            q_net[:, j] = qf - qr
+        return q_fwd, q_net
+
+    def wdot(self, t: np.ndarray, conc: np.ndarray) -> np.ndarray:
+        """Net molar production rates [mol/(m^3 s)], shape ``(n, ns)``."""
+        _, q_net = self.rates_of_progress(t, conc)
+        return q_net @ self.mech.nu_net
+
+    def mass_production_rates(self, t, rho, y) -> np.ndarray:
+        """Net mass production rates [kg/(m^3 s)]: ``wdot_i * W_i``.
+
+        These sum to zero across species (mass conservation).
+        """
+        conc = self.concentrations(rho, y)
+        return self.wdot(t, conc) * self.mech.molecular_weights
+
+    def heat_release_rate(self, t, rho, y) -> np.ndarray:
+        """Volumetric heat release rate [W/m^3]: ``-sum_i h_i wdot_i``."""
+        t = np.atleast_1d(np.asarray(t, dtype=float))
+        conc = self.concentrations(rho, y)
+        wdot = self.wdot(t, conc)
+        h_mole = self.mech.h_rt_all(t) * R_UNIVERSAL * t[..., None]
+        return -(wdot * h_mole).sum(axis=-1)
+
+    # ----------------------------------------------------------------
+    def constant_pressure_rhs(
+        self, t: np.ndarray, p: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Right-hand side of the constant-pressure reactor equations.
+
+        Returns ``(dT/dt, dY/dt)`` for a homogeneous ideal-gas reactor:
+
+            dY_i/dt = wdot_i W_i / rho
+            dT/dt   = -sum_i h_i wdot_i / (rho cp)
+        """
+        t = np.atleast_1d(np.asarray(t, dtype=float))
+        y = np.atleast_2d(np.asarray(y, dtype=float))
+        p = np.broadcast_to(np.asarray(p, dtype=float), t.shape)
+        rho = self.density_ideal(t, p, y)
+        conc = self.concentrations(rho, y)
+        wdot = self.wdot(t, conc)
+        dydt = wdot * self.mech.molecular_weights / rho[..., None]
+        h_mole = self.mech.h_rt_all(t) * R_UNIVERSAL * t[..., None]
+        cp_mass = self.mech.cp_mass_mixture(t, y)
+        dtdt = -(wdot * h_mole).sum(axis=-1) / (rho * cp_mass)
+        return dtdt, dydt

@@ -1,0 +1,158 @@
+"""Mechanism container: species + reactions + precomputed stoichiometry.
+
+A :class:`Mechanism` is the static description of the chemistry; the
+vectorized evaluation of production rates over many cells lives in
+:mod:`repro.chemistry.kinetics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import P_REF, R_UNIVERSAL
+from .rates import Reaction
+from .species import Species
+
+__all__ = ["Mechanism"]
+
+
+@dataclass
+class Mechanism:
+    """An immutable chemical reaction mechanism.
+
+    Precomputes the forward/reverse stoichiometric matrices, element
+    matrix and third-body efficiency matrix used by the vectorized
+    kinetics kernels.
+    """
+
+    species: list[Species]
+    reactions: list[Reaction]
+    name: str = "mechanism"
+
+    def __post_init__(self) -> None:
+        self.species_names = [s.name for s in self.species]
+        self.species_index = {n: i for i, n in enumerate(self.species_names)}
+        ns, nr = len(self.species), len(self.reactions)
+        self.n_species = ns
+        self.n_reactions = nr
+        self.molecular_weights = np.array([s.molecular_weight for s in self.species])
+
+        self.nu_forward = np.zeros((nr, ns))
+        self.nu_reverse = np.zeros((nr, ns))
+        for j, rxn in enumerate(self.reactions):
+            for name, nu in rxn.reactants.items():
+                self.nu_forward[j, self.species_index[name]] += nu
+            for name, nu in rxn.products.items():
+                self.nu_reverse[j, self.species_index[name]] += nu
+        self.nu_net = self.nu_reverse - self.nu_forward
+
+        # Third-body efficiency matrix: eff[j, i] applies to reactions
+        # that use a third body (three-body or falloff); rows for other
+        # reactions are zero and unused.
+        self.efficiencies = np.zeros((nr, ns))
+        for j, rxn in enumerate(self.reactions):
+            if rxn.third_body or rxn.is_falloff:
+                row = np.ones(ns)
+                for name, eff in rxn.efficiencies.items():
+                    row[self.species_index[name]] = eff
+                self.efficiencies[j] = row
+
+        elements = sorted({el for s in self.species for el in s.composition})
+        self.elements = elements
+        self.element_matrix = np.zeros((len(elements), ns))
+        for i, sp in enumerate(self.species):
+            for el, cnt in sp.composition.items():
+                self.element_matrix[elements.index(el), i] = cnt
+
+        self.reversible_mask = np.array([r.reversible for r in self.reactions])
+        self._validate()
+
+    # ----------------------------------------------------------------
+    def _validate(self) -> None:
+        """Every reaction must conserve elements exactly."""
+        imbalance = self.element_matrix @ self.nu_net.T
+        bad = np.argwhere(np.abs(imbalance) > 1e-10)
+        if bad.size:
+            el, j = bad[0]
+            raise ValueError(
+                f"reaction {self.reactions[j].equation!r} does not conserve "
+                f"element {self.elements[el]!r}"
+            )
+
+    # Thermo over the whole species set -------------------------------
+    def cp_r_all(self, t: np.ndarray) -> np.ndarray:
+        """cp/R for all species: shape ``t.shape + (n_species,)``."""
+        t = np.asarray(t)
+        return np.stack([s.thermo.cp_r(t) for s in self.species], axis=-1)
+
+    def h_rt_all(self, t: np.ndarray) -> np.ndarray:
+        """h/(RT) for all species."""
+        t = np.asarray(t)
+        return np.stack([s.thermo.h_rt(t) for s in self.species], axis=-1)
+
+    def s_r_all(self, t: np.ndarray) -> np.ndarray:
+        """s/R for all species at the reference pressure."""
+        t = np.asarray(t)
+        return np.stack([s.thermo.s_r(t) for s in self.species], axis=-1)
+
+    def g_rt_all(self, t: np.ndarray) -> np.ndarray:
+        """g/(RT) for all species."""
+        return self.h_rt_all(t) - self.s_r_all(t)
+
+    # ----------------------------------------------------------------
+    def equilibrium_constants(self, t: np.ndarray) -> np.ndarray:
+        """Concentration equilibrium constants Kc for every reaction.
+
+        ``Kc_j = (p_ref / (R T))^(sum nu_j) * exp(-sum_i nu_ij g_i/(RT))``
+
+        Returns shape ``t.shape + (n_reactions,)`` in SI concentration
+        units (mol/m^3 per net order).
+        """
+        t = np.asarray(t, dtype=float)
+        g_rt = self.g_rt_all(t)  # (..., ns)
+        delta_g = g_rt @ self.nu_net.T  # (..., nr)
+        dn = self.nu_net.sum(axis=1)  # (nr,)
+        c_ref = P_REF / (R_UNIVERSAL * t)
+        # Clip to keep irreversible-in-practice reactions finite.
+        return np.exp(np.clip(-delta_g, -300.0, 300.0)) * np.power(
+            c_ref[..., None], dn
+        )
+
+    def mean_molecular_weight(self, y: np.ndarray) -> np.ndarray:
+        """Mixture molecular weight [kg/mol] from mass fractions.
+
+        ``y`` has shape ``(..., n_species)``.
+        """
+        return 1.0 / np.maximum((y / self.molecular_weights).sum(axis=-1), 1e-300)
+
+    def mole_fractions(self, y: np.ndarray) -> np.ndarray:
+        """Convert mass fractions to mole fractions."""
+        w = self.mean_molecular_weight(y)
+        return y * w[..., None] / self.molecular_weights
+
+    def mass_fractions(self, x: np.ndarray) -> np.ndarray:
+        """Convert mole fractions to mass fractions."""
+        num = x * self.molecular_weights
+        return num / np.maximum(num.sum(axis=-1, keepdims=True), 1e-300)
+
+    def cp_mass_mixture(self, t: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Ideal-gas mixture specific heat [J/(kg K)]."""
+        cp_moles = self.cp_r_all(t) * R_UNIVERSAL  # (..., ns)
+        return ((y / self.molecular_weights) * cp_moles).sum(axis=-1)
+
+    def h_mass_mixture(self, t: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Ideal-gas mixture specific enthalpy [J/kg]."""
+        t = np.asarray(t, dtype=float)
+        h_moles = self.h_rt_all(t) * R_UNIVERSAL * t[..., None]
+        return ((y / self.molecular_weights) * h_moles).sum(axis=-1)
+
+    def element_mass_fractions(self, y: np.ndarray) -> np.ndarray:
+        """Element mass fractions Z_e from species mass fractions."""
+        from ..constants import ATOMIC_WEIGHTS
+
+        zw = np.array([ATOMIC_WEIGHTS[el] for el in self.elements])
+        moles = y / self.molecular_weights  # (..., ns) mol/kg
+        el_moles = moles @ self.element_matrix.T  # (..., ne)
+        return el_moles * zw

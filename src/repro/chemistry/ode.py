@@ -1,0 +1,409 @@
+"""Stiff and non-stiff ODE integrators for chemical kinetics.
+
+Implements the integrator families used by the paper's Table-1 codes:
+
+* :class:`BDFIntegrator` -- a variable-order (1-5), variable-step
+  quasi-constant-step-size NDF/BDF method with modified-Newton
+  iteration and dense LU, following the algorithm of Shampine &
+  Reichelt (the same family as CVODE, which DeepFlame's baseline and
+  the YALES2/NEK5000/PeleC comparison codes use).  Exposes per-solve
+  work counters (steps, Newton iterations, LU factorizations, RHS
+  evaluations) so that the chemistry load-imbalance phenomenology the
+  paper describes can be measured directly.
+* :func:`integrate_rk4` -- fixed-step classical RK4 (DINO/S3D-style
+  explicit chemistry).
+* :class:`Rosenbrock2` -- an L-stable 2-stage Rosenbrock method
+  (CharlesX uses a semi-implicit Rosenbrock scheme, ROK4E).
+
+All integrators operate on a generic ``f(t, y)`` right-hand side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+from scipy.linalg import lu_factor, lu_solve
+
+__all__ = ["WorkCounters", "BDFIntegrator", "integrate_rk4", "Rosenbrock2"]
+
+_MAX_ORDER = 5
+_NEWTON_MAXITER = 4
+_MIN_FACTOR = 0.2
+_MAX_FACTOR = 10.0
+
+# NDF modification coefficients (Shampine & Reichelt, MATLAB ode15s).
+_KAPPA = np.array([0.0, -0.1850, -1.0 / 9.0, -0.0823, -0.0415, 0.0])
+_GAMMA = np.hstack((0.0, np.cumsum(1.0 / np.arange(1, _MAX_ORDER + 1))))
+_ALPHA = (1.0 - _KAPPA) * _GAMMA
+_ERROR_CONST = _KAPPA * _GAMMA + 1.0 / np.arange(1, _MAX_ORDER + 2)
+
+
+@dataclass
+class WorkCounters:
+    """Operation counts accumulated during a solve.
+
+    The spatial variability of these counters across cells is exactly
+    the chemistry load imbalance that motivates ODENet.
+    """
+
+    steps: int = 0
+    rejected_steps: int = 0
+    rhs_evals: int = 0
+    jac_evals: int = 0
+    lu_factorizations: int = 0
+    newton_iters: int = 0
+
+    def merge(self, other: "WorkCounters") -> None:
+        for f in (
+            "steps",
+            "rejected_steps",
+            "rhs_evals",
+            "jac_evals",
+            "lu_factorizations",
+            "newton_iters",
+        ):
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+
+
+def _norm(x: np.ndarray) -> float:
+    return float(np.linalg.norm(x) / np.sqrt(x.size))
+
+
+def _compute_r(order: int, factor: float) -> np.ndarray:
+    """Step-size-change matrix for the backward-difference array."""
+    i = np.arange(1, order + 1)[:, None]
+    j = np.arange(1, order + 1)[None, :]
+    m = np.zeros((order + 1, order + 1))
+    m[1:, 1:] = (i - 1 - factor * j) / i
+    m[0] = 1.0
+    return np.cumprod(m, axis=0)
+
+
+def _change_d(d_arr: np.ndarray, order: int, factor: float) -> None:
+    """Rescale the difference array in place for a step-size change.
+
+    The full transform is ``R(factor) @ R(1)`` (Shampine & Reichelt);
+    ``R(1)`` is not the identity.
+    """
+    ru = _compute_r(order, factor) @ _compute_r(order, 1.0)
+    d_arr[: order + 1] = ru.T @ d_arr[: order + 1]
+
+
+class BDFIntegrator:
+    """Variable-order NDF/BDF integrator with modified Newton iteration.
+
+    Parameters
+    ----------
+    fun:
+        Right-hand side ``f(t, y) -> dy/dt``.
+    jac:
+        Optional dense Jacobian ``J(t, y)``; finite differences are
+        used when omitted.
+    rtol, atol:
+        Local error tolerances.
+    max_step:
+        Optional cap on the internal step size.
+    """
+
+    def __init__(
+        self,
+        fun: Callable[[float, np.ndarray], np.ndarray],
+        jac: Callable[[float, np.ndarray], np.ndarray] | None = None,
+        rtol: float = 1e-6,
+        atol: float = 1e-10,
+        max_step: float = np.inf,
+    ):
+        self.fun = fun
+        self.jac = jac
+        self.rtol = rtol
+        self.atol = atol
+        self.max_step = max_step
+        self.work = WorkCounters()
+
+    # ----------------------------------------------------------------
+    def _eval_rhs(self, t: float, y: np.ndarray) -> np.ndarray:
+        self.work.rhs_evals += 1
+        return np.asarray(self.fun(t, y), dtype=float)
+
+    def _eval_jac(self, t: float, y: np.ndarray, f0: np.ndarray) -> np.ndarray:
+        self.work.jac_evals += 1
+        if self.jac is not None:
+            return np.asarray(self.jac(t, y), dtype=float)
+        n = y.size
+        j = np.empty((n, n))
+        eps = np.sqrt(np.finfo(float).eps)
+        for i in range(n):
+            dy = eps * max(abs(y[i]), 1e-8)
+            yp = y.copy()
+            yp[i] += dy
+            j[:, i] = (self._eval_rhs(t, yp) - f0) / dy
+        return j
+
+    # ----------------------------------------------------------------
+    def solve(
+        self,
+        t_span: tuple[float, float],
+        y0: np.ndarray,
+        first_step: float | None = None,
+        dense_ts: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Integrate from ``t_span[0]`` to ``t_span[1]``.
+
+        Returns ``(ts, ys)`` where ``ys[k]`` is the state at ``ts[k]``.
+        If ``dense_ts`` is given, the solution is interpolated onto
+        those times (via the backward-difference polynomial); otherwise
+        every accepted internal step is returned.
+        """
+        t0, tf = t_span
+        y = np.array(y0, dtype=float)
+        n = y.size
+        f0 = self._eval_rhs(t0, y)
+
+        if first_step is None:
+            scale = self.atol + self.rtol * np.abs(y)
+            d0 = _norm(y / scale)
+            d1 = _norm(f0 / scale)
+            h = 0.01 * d0 / d1 if (d0 > 1e-5 and d1 > 1e-5) else 1e-6
+            h = min(h, (tf - t0) / 10.0, self.max_step)
+        else:
+            h = float(first_step)
+        h = max(h, 10.0 * np.abs(np.nextafter(t0, tf) - t0))
+
+        d_arr = np.zeros((_MAX_ORDER + 3, n))
+        d_arr[0] = y
+        d_arr[1] = f0 * h
+        order = 1
+        n_equal_steps = 0
+        t = t0
+
+        lu = None
+        current_jac = False
+        j_mat = self._eval_jac(t0, y, f0)
+
+        ts_out = [t0]
+        ys_out = [y.copy()]
+
+        while t < tf:
+            if t + h > tf:
+                factor = (tf - t) / h
+                h = tf - t
+                _change_d(d_arr, order, factor)
+                n_equal_steps = 0
+                lu = None
+            h = min(h, self.max_step)
+
+            step_accepted = False
+            while not step_accepted:
+                t_new = t + h
+                y_predict = d_arr[: order + 1].sum(axis=0)
+                scale = self.atol + self.rtol * np.abs(y_predict)
+                psi = d_arr[1 : order + 1].T @ _GAMMA[1 : order + 1] / _ALPHA[order]
+                c = h / _ALPHA[order]
+
+                converged = False
+                while not converged:
+                    if lu is None:
+                        self.work.lu_factorizations += 1
+                        lu = lu_factor(np.eye(n) - c * j_mat)
+                    y_new = y_predict.copy()
+                    d = np.zeros(n)
+                    dy_norm_old = None
+                    rate = None
+                    for _ in range(_NEWTON_MAXITER):
+                        self.work.newton_iters += 1
+                        f = self._eval_rhs(t_new, y_new)
+                        if not np.all(np.isfinite(f)):
+                            break
+                        dy = lu_solve(lu, c * f - psi - d)
+                        dy_norm = _norm(dy / scale)
+                        if dy_norm_old is not None and dy_norm_old > 0:
+                            rate = dy_norm / dy_norm_old
+                            if rate >= 1.0:
+                                break
+                        y_new += dy
+                        d += dy
+                        if dy_norm == 0.0 or (
+                            rate is not None
+                            and rate / (1.0 - rate) * dy_norm < 1e-2
+                        ):
+                            converged = True
+                            break
+                        dy_norm_old = dy_norm
+                    if converged:
+                        break
+                    if not current_jac:
+                        j_mat = self._eval_jac(t, d_arr[0], self._eval_rhs(t, d_arr[0]))
+                        current_jac = True
+                        lu = None
+                    else:
+                        h *= 0.5
+                        n_equal_steps = 0
+                        _change_d(d_arr, order, 0.5)
+                        lu = None
+                        if h < 1e-14 * max(abs(t), 1.0):
+                            raise RuntimeError("BDF step size underflow")
+                        break
+                if not converged:
+                    continue
+
+                safety = 0.9 * (2 * _NEWTON_MAXITER + 1) / (
+                    2 * _NEWTON_MAXITER + self.work.newton_iters % _NEWTON_MAXITER + 1
+                )
+                error = _ERROR_CONST[order] * d
+                error_norm = _norm(error / scale)
+                if error_norm > 1.0:
+                    self.work.rejected_steps += 1
+                    factor = max(
+                        _MIN_FACTOR, safety * error_norm ** (-1.0 / (order + 1))
+                    )
+                    _change_d(d_arr, order, factor)
+                    h *= factor
+                    n_equal_steps = 0
+                    lu = None
+                    continue
+                step_accepted = True
+
+            self.work.steps += 1
+            n_equal_steps += 1
+            t = t_new
+            current_jac = False
+
+            # Update the backward-difference array.
+            d_arr[order + 2] = d - d_arr[order + 1]
+            d_arr[order + 1] = d
+            for i in reversed(range(order + 1)):
+                d_arr[i] += d_arr[i + 1]
+
+            ts_out.append(t)
+            ys_out.append(d_arr[0].copy())
+
+            if n_equal_steps < order + 1:
+                continue
+
+            # Consider changing the order.
+            scale = self.atol + self.rtol * np.abs(d_arr[0])
+            error_m_norm = (
+                _norm(_ERROR_CONST[order - 1] * d_arr[order] / scale)
+                if order > 1
+                else np.inf
+            )
+            error_norm = _norm(_ERROR_CONST[order] * d_arr[order + 1] / scale)
+            error_p_norm = (
+                _norm(_ERROR_CONST[order + 1] * d_arr[order + 2] / scale)
+                if order < _MAX_ORDER
+                else np.inf
+            )
+            error_norms = np.array([error_m_norm, error_norm, error_p_norm])
+            with np.errstate(divide="ignore", over="ignore"):
+                factors = error_norms ** (-1.0 / np.arange(order, order + 3))
+            delta_order = int(np.argmax(factors)) - 1
+            order += delta_order
+            factor = min(_MAX_FACTOR, 0.9 * factors[delta_order + 1])
+            if not np.isfinite(factor) or factor <= 0:
+                factor = 1.0
+            if abs(factor - 1.0) > 1e-12 or delta_order != 0:
+                _change_d(d_arr, order, factor)
+                h *= factor
+                n_equal_steps = 0
+                lu = None
+
+        ts = np.array(ts_out)
+        ys = np.array(ys_out)
+        if dense_ts is not None:
+            out = np.empty((len(dense_ts), n))
+            for k in range(n):
+                out[:, k] = np.interp(dense_ts, ts, ys[:, k])
+            return np.asarray(dense_ts), out
+        return ts, ys
+
+
+# --------------------------------------------------------------------
+def integrate_rk4(
+    fun: Callable[[float, np.ndarray], np.ndarray],
+    t_span: tuple[float, float],
+    y0: np.ndarray,
+    n_steps: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Classical fixed-step RK4 (explicit chemistry, DINO/S3D style).
+
+    Returns ``(ts, ys)`` including both endpoints.
+    """
+    t0, tf = t_span
+    h = (tf - t0) / n_steps
+    y = np.array(y0, dtype=float)
+    ts = np.linspace(t0, tf, n_steps + 1)
+    ys = np.empty((n_steps + 1, y.size))
+    ys[0] = y
+    for k in range(n_steps):
+        t = ts[k]
+        k1 = np.asarray(fun(t, y))
+        k2 = np.asarray(fun(t + 0.5 * h, y + 0.5 * h * k1))
+        k3 = np.asarray(fun(t + 0.5 * h, y + 0.5 * h * k2))
+        k4 = np.asarray(fun(t + h, y + h * k3))
+        y = y + (h / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+        ys[k + 1] = y
+    return ts, ys
+
+
+class Rosenbrock2:
+    """L-stable two-stage, second-order Rosenbrock method (ROS2).
+
+    The scheme of Verwer et al. with ``gamma = 1 + 1/sqrt(2)``:
+
+        (I - gamma h J) k1 = f(y_n)
+        (I - gamma h J) k2 = f(y_n + h k1) - 2 k1
+        y_{n+1} = y_n + h (3 k1 + k2) / 2
+
+    Fixed step; one Jacobian + one LU per step (reused for both
+    stages), which is the cost profile of the semi-implicit
+    Runge-Kutta chemistry in the CharlesX comparison code.
+    """
+
+    GAMMA = 1.0 + 1.0 / np.sqrt(2.0)
+
+    def __init__(self, fun, jac=None):
+        self.fun = fun
+        self.jac = jac
+        self.work = WorkCounters()
+
+    def _jacobian(self, t, y, f0):
+        self.work.jac_evals += 1
+        if self.jac is not None:
+            return np.asarray(self.jac(t, y), dtype=float)
+        n = y.size
+        j = np.empty((n, n))
+        eps = np.sqrt(np.finfo(float).eps)
+        for i in range(n):
+            dy = eps * max(abs(y[i]), 1e-8)
+            yp = y.copy()
+            yp[i] += dy
+            self.work.rhs_evals += 1
+            j[:, i] = (np.asarray(self.fun(t, yp)) - f0) / dy
+        return j
+
+    def solve(self, t_span, y0, n_steps):
+        """Integrate with ``n_steps`` uniform steps; returns ``(ts, ys)``."""
+        t0, tf = t_span
+        h = (tf - t0) / n_steps
+        y = np.array(y0, dtype=float)
+        n = y.size
+        ts = np.linspace(t0, tf, n_steps + 1)
+        ys = np.empty((n_steps + 1, n))
+        ys[0] = y
+        for k in range(n_steps):
+            t = ts[k]
+            self.work.rhs_evals += 1
+            f0 = np.asarray(self.fun(t, y), dtype=float)
+            j = self._jacobian(t, y, f0)
+            self.work.lu_factorizations += 1
+            lu = lu_factor(np.eye(n) - self.GAMMA * h * j)
+            k1 = lu_solve(lu, f0)
+            self.work.rhs_evals += 1
+            f1 = np.asarray(self.fun(t + h, y + h * k1), dtype=float)
+            k2 = lu_solve(lu, f1 - 2.0 * k1)
+            y = y + h * (1.5 * k1 + 0.5 * k2)
+            self.work.steps += 1
+            ys[k + 1] = y
+        return ts, ys

@@ -1,0 +1,149 @@
+"""Elementary reaction rate laws.
+
+Supports the three rate forms needed by the built-in skeletal LOX/CH4
+mechanism (and by virtually every skeletal C1 mechanism):
+
+* plain (modified) Arrhenius,
+* three-body reactions with per-species collision efficiencies,
+* pressure-dependent falloff reactions (Lindemann and Troe blending).
+
+Rate parameters are stored in SI units (m^3, mol, s, J/mol); mechanism
+files declare them in the CGS/cal units conventional in the combustion
+literature and convert on construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import R_UNIVERSAL, cal_per_mol_to_j_per_mol, cm3_mol_s_to_si
+
+__all__ = ["Arrhenius", "TroeParams", "Reaction"]
+
+
+@dataclass(frozen=True)
+class Arrhenius:
+    """Modified Arrhenius rate: ``k = A T^b exp(-Ea / (R T))``.
+
+    ``a`` is in SI concentration units (m^3/mol per order above one);
+    ``ea`` is in J/mol.
+    """
+
+    a: float
+    b: float
+    ea: float
+
+    @classmethod
+    def from_cgs(cls, a_cgs: float, b: float, ea_cal: float, order: int) -> "Arrhenius":
+        """Build from CGS/cal data as tabulated in mechanism listings."""
+        return cls(cm3_mol_s_to_si(a_cgs, order), b, cal_per_mol_to_j_per_mol(ea_cal))
+
+    def __call__(self, t: np.ndarray | float) -> np.ndarray | float:
+        return self.a * np.power(t, self.b) * np.exp(-self.ea / (R_UNIVERSAL * t))
+
+
+@dataclass(frozen=True)
+class TroeParams:
+    """Troe falloff-blending parameters (4-parameter form)."""
+
+    alpha: float
+    t3: float
+    t1: float
+    t2: float | None = None
+
+    def f_cent(self, t: np.ndarray | float) -> np.ndarray | float:
+        f = (1.0 - self.alpha) * np.exp(-t / self.t3) + self.alpha * np.exp(-t / self.t1)
+        if self.t2 is not None:
+            f = f + np.exp(-self.t2 / t)
+        return f
+
+
+@dataclass(frozen=True)
+class Reaction:
+    """A (possibly reversible) elementary reaction.
+
+    Parameters
+    ----------
+    equation:
+        Human-readable equation string, for diagnostics only.
+    reactants, products:
+        Species name -> stoichiometric coefficient.
+    rate:
+        High-pressure-limit Arrhenius rate.
+    reversible:
+        If True the reverse rate is computed from the equilibrium
+        constant (thermodynamic consistency).
+    third_body:
+        If True the rate of progress is multiplied by the effective
+        third-body concentration [M].
+    efficiencies:
+        Per-species third-body collision efficiencies (default 1.0).
+    low_rate:
+        Low-pressure-limit rate; presence marks a falloff reaction.
+    troe:
+        Troe blending parameters; ``None`` with ``low_rate`` set means
+        Lindemann falloff.
+    """
+
+    equation: str
+    reactants: dict[str, float]
+    products: dict[str, float]
+    rate: Arrhenius
+    reversible: bool = True
+    third_body: bool = False
+    efficiencies: dict[str, float] = field(default_factory=dict)
+    low_rate: Arrhenius | None = None
+    troe: TroeParams | None = None
+
+    @property
+    def is_falloff(self) -> bool:
+        return self.low_rate is not None
+
+    def forward_order(self) -> float:
+        """Sum of reactant stoichiometric coefficients."""
+        return float(sum(self.reactants.values()))
+
+    def net_stoich(self) -> dict[str, float]:
+        """Products minus reactants, per species."""
+        net: dict[str, float] = {}
+        for s, nu in self.products.items():
+            net[s] = net.get(s, 0.0) + nu
+        for s, nu in self.reactants.items():
+            net[s] = net.get(s, 0.0) - nu
+        return net
+
+    # ----------------------------------------------------------------
+    def forward_rate_constant(
+        self, t: np.ndarray, m_conc: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Forward rate constant, including falloff blending.
+
+        Parameters
+        ----------
+        t:
+            Temperature array [K].
+        m_conc:
+            Effective third-body concentration [mol/m^3]; required for
+            falloff reactions.
+        """
+        k_inf = self.rate(t)
+        if not self.is_falloff:
+            return np.asarray(k_inf)
+        if m_conc is None:
+            raise ValueError(f"falloff reaction {self.equation!r} needs [M]")
+        k0 = self.low_rate(t)
+        pr = np.maximum(k0 * m_conc / np.maximum(k_inf, 1e-300), 1e-300)
+        blend = pr / (1.0 + pr)
+        if self.troe is not None:
+            fc = np.maximum(self.troe.f_cent(t), 1e-300)
+            log_fc = np.log10(fc)
+            c = -0.4 - 0.67 * log_fc
+            n = 0.75 - 1.27 * log_fc
+            log_pr = np.log10(pr)
+            f1 = (log_pr + c) / (n - 0.14 * (log_pr + c))
+            f = np.power(10.0, log_fc / (1.0 + f1 * f1))
+        else:
+            f = 1.0
+        return np.asarray(k_inf * blend * f)

@@ -1,0 +1,160 @@
+"""Species data: NASA-7 thermodynamic polynomials and per-species
+critical/transport constants.
+
+The paper's mechanism (17 species / 44 reactions for LOX/CH4) ships
+with NASA-7 thermodynamic fits.  The exact fits are not
+redistributable, so :func:`fit_nasa7` constructs thermodynamically
+self-consistent polynomials from a small set of anchor data per
+species: heat-capacity samples, the standard formation enthalpy and the
+standard entropy.  Consistency (``cp = dh/dT``, ``h(T_ref) = h_f``,
+``s(T_ref) = s_ref``) is exact by construction and is verified by the
+test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import ATOMIC_WEIGHTS, R_UNIVERSAL, T_REF
+
+__all__ = ["Nasa7Poly", "Species", "fit_nasa7"]
+
+
+@dataclass(frozen=True)
+class Nasa7Poly:
+    """A NASA-7 polynomial on a single temperature range.
+
+    Nondimensional properties follow the standard form::
+
+        cp/R = a1 + a2 T + a3 T^2 + a4 T^3 + a5 T^4
+        h/RT = a1 + a2/2 T + a3/3 T^2 + a4/4 T^3 + a5/5 T^4 + a6/T
+        s/R  = a1 ln T + a2 T + a3/2 T^2 + a4/3 T^3 + a5/4 T^4 + a7
+
+    A single range covering [t_min, t_max] is used (equivalent to a
+    two-range NASA-7 with identical coefficients in both ranges).
+    """
+
+    coeffs: tuple[float, float, float, float, float, float, float]
+    t_min: float = 200.0
+    t_max: float = 4000.0
+
+    def cp_r(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Nondimensional heat capacity cp/R at temperature ``t`` [K]."""
+        a = self.coeffs
+        return a[0] + t * (a[1] + t * (a[2] + t * (a[3] + t * a[4])))
+
+    def h_rt(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Nondimensional enthalpy h/(R T) at temperature ``t`` [K]."""
+        a = self.coeffs
+        poly = a[0] + t * (
+            a[1] / 2.0 + t * (a[2] / 3.0 + t * (a[3] / 4.0 + t * a[4] / 5.0))
+        )
+        return poly + a[5] / t
+
+    def s_r(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Nondimensional entropy s/R at temperature ``t`` [K] and p_ref."""
+        a = self.coeffs
+        return (
+            a[0] * np.log(t)
+            + t * (a[1] + t * (a[2] / 2.0 + t * (a[3] / 3.0 + t * a[4] / 4.0)))
+            + a[6]
+        )
+
+    def g_rt(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Nondimensional Gibbs energy g/(R T) = h/RT - s/R."""
+        return self.h_rt(t) - self.s_r(t)
+
+
+def fit_nasa7(
+    cp_r_samples: dict[float, float],
+    hf298: float,
+    s298: float,
+    t_min: float = 200.0,
+    t_max: float = 4000.0,
+) -> Nasa7Poly:
+    """Build a NASA-7 polynomial from anchor data.
+
+    Parameters
+    ----------
+    cp_r_samples:
+        Mapping T [K] -> cp/R.  A least-squares cubic in T is fit
+        through these points (a5 is left at zero; a cubic cp is ample
+        for a skeletal mechanism).
+    hf298:
+        Standard enthalpy of formation at 298.15 K [J/mol].
+    s298:
+        Standard entropy at 298.15 K [J/(mol K)].
+    """
+    ts = np.array(sorted(cp_r_samples))
+    cps = np.array([cp_r_samples[t] for t in ts])
+    ncoef = min(4, len(ts))
+    vander = np.vander(ts, ncoef, increasing=True)
+    sol, *_ = np.linalg.lstsq(vander, cps, rcond=None)
+    a = np.zeros(7)
+    a[:ncoef] = sol
+    # Integration constants from the 298.15 K anchors.
+    t0 = T_REF
+    poly_h = a[0] + t0 * (a[1] / 2 + t0 * (a[2] / 3 + t0 * (a[3] / 4 + t0 * a[4] / 5)))
+    a[5] = hf298 / R_UNIVERSAL - poly_h * t0
+    poly_s = a[0] * np.log(t0) + t0 * (a[1] + t0 * (a[2] / 2 + t0 * (a[3] / 3 + t0 * a[4] / 4)))
+    a[6] = s298 / R_UNIVERSAL - poly_s
+    return Nasa7Poly(tuple(a), t_min, t_max)
+
+
+@dataclass(frozen=True)
+class Species:
+    """A chemical species with thermo, critical and transport data.
+
+    Attributes
+    ----------
+    name:
+        Species name, e.g. ``"CH4"``.
+    composition:
+        Element -> atom count, e.g. ``{"C": 1, "H": 4}``.
+    thermo:
+        NASA-7 polynomial for ideal-gas properties.
+    t_crit, p_crit, omega:
+        Critical temperature [K], critical pressure [Pa] and acentric
+        factor for the Peng-Robinson equation of state.  Radical
+        species carry literature-style pseudo-critical estimates.
+    lj_sigma, lj_eps_kb:
+        Lennard-Jones collision diameter [m] and well depth / k_B [K]
+        for dilute-gas transport.
+    """
+
+    name: str
+    composition: dict[str, int]
+    thermo: Nasa7Poly
+    t_crit: float
+    p_crit: float
+    omega: float
+    lj_sigma: float
+    lj_eps_kb: float
+    molecular_weight: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        w = sum(ATOMIC_WEIGHTS[el] * n for el, n in self.composition.items())
+        object.__setattr__(self, "molecular_weight", w)
+
+    # Dimensional convenience wrappers -------------------------------
+    def cp_mole(self, t):
+        """Molar heat capacity [J/(mol K)]."""
+        return self.thermo.cp_r(t) * R_UNIVERSAL
+
+    def h_mole(self, t):
+        """Molar enthalpy [J/mol] (includes formation enthalpy)."""
+        return self.thermo.h_rt(t) * R_UNIVERSAL * t
+
+    def s_mole(self, t):
+        """Molar entropy [J/(mol K)] at the reference pressure."""
+        return self.thermo.s_r(t) * R_UNIVERSAL
+
+    def cp_mass(self, t):
+        """Specific heat capacity [J/(kg K)]."""
+        return self.cp_mole(t) / self.molecular_weight
+
+    def h_mass(self, t):
+        """Specific enthalpy [J/kg]."""
+        return self.h_mole(t) / self.molecular_weight

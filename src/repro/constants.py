@@ -1,0 +1,68 @@
+"""Physical constants and unit helpers used across the package.
+
+All internal computation is SI (m, kg, s, K, mol, J, Pa) unless a
+function explicitly says otherwise.  Chemical-kinetics input data is
+commonly tabulated in CGS/cal units (cm^3, mol, s, cal/mol); the
+conversion helpers here centralize that translation so mechanism files
+can be written in the units the combustion literature uses.
+"""
+
+from __future__ import annotations
+
+#: Universal gas constant [J/(mol K)] (CODATA 2018, exact).
+R_UNIVERSAL = 8.31446261815324
+
+#: Universal gas constant [cal/(mol K)] -- used for Arrhenius activation
+#: energies tabulated in cal/mol.
+R_CAL = 1.98720425864083
+
+#: Standard atmosphere [Pa].
+P_ATM = 101325.0
+
+#: Thermodynamic standard-state pressure [Pa] used by NASA polynomials.
+P_REF = 101325.0
+
+#: Standard reference temperature [K] for formation enthalpies.
+T_REF = 298.15
+
+#: Boltzmann constant [J/K].
+K_BOLTZMANN = 1.380649e-23
+
+#: Avogadro number [1/mol].
+N_AVOGADRO = 6.02214076e23
+
+#: Calories to Joules.
+CAL_TO_J = 4.184
+
+#: Atomic weights [kg/mol] for the elements appearing in the built-in
+#: mechanism.
+ATOMIC_WEIGHTS = {
+    "H": 1.008e-3,
+    "C": 12.011e-3,
+    "O": 15.999e-3,
+    "N": 14.007e-3,
+    "AR": 39.948e-3,
+}
+
+
+def cal_per_mol_to_j_per_mol(ea_cal: float) -> float:
+    """Convert an activation energy from cal/mol to J/mol."""
+    return ea_cal * CAL_TO_J
+
+
+def cm3_mol_s_to_si(a_cgs: float, reaction_order: int) -> float:
+    """Convert a CGS Arrhenius pre-exponential to SI.
+
+    Rate constants for an ``n``-th order reaction carry units of
+    ``(cm^3/mol)^(n-1) / s``; converting each cm^3 to m^3 divides by
+    10^6 per concentration factor.
+
+    Parameters
+    ----------
+    a_cgs:
+        Pre-exponential factor in cm^3-mol-s units.
+    reaction_order:
+        Total molecularity of the forward reaction (2 for bimolecular,
+        3 for three-body / termolecular, 1 for unimolecular).
+    """
+    return a_cgs * (1.0e-6) ** (reaction_order - 1)

@@ -1,0 +1,35 @@
+"""The paper's primary contribution: the DeepFlame solver coupling
+implicit FV transport with ODENet chemistry and PRNet real-fluid
+properties, plus the TGV / rocket case builders."""
+
+from .cases import Case, build_rocket_case, build_tgv_case
+from .chemistry_source import (
+    ChemistryStats,
+    DirectChemistry,
+    NoChemistry,
+    ODENetChemistry,
+)
+from .deepflame import DeepFlameSolver, StepDiagnostics, StepTimings
+from .properties import (
+    DirectRealFluidProperties,
+    IdealGasProperties,
+    PRNetProperties,
+    PropertySet,
+)
+
+__all__ = [
+    "Case",
+    "ChemistryStats",
+    "DeepFlameSolver",
+    "DirectChemistry",
+    "DirectRealFluidProperties",
+    "IdealGasProperties",
+    "NoChemistry",
+    "ODENetChemistry",
+    "PRNetProperties",
+    "PropertySet",
+    "StepDiagnostics",
+    "StepTimings",
+    "build_rocket_case",
+    "build_tgv_case",
+]

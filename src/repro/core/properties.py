@@ -1,0 +1,103 @@
+"""Property evaluation paths: direct Peng-Robinson vs. PRNet.
+
+Both expose the same call the solver makes once per time step:
+``(h, p, Y) -> (rho, T, mu, alpha, cp)``.  The direct path performs the
+Newton temperature inversion and cubic-EoS solves per cell; the PRNet
+path is two batched MLP inferences -- the paper's computational
+substitution, reproduced end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..chemistry.mechanism import Mechanism
+from ..constants import R_UNIVERSAL
+from ..dnn.inference import InferenceEngine
+from ..dnn.prnet import PRNet
+from ..thermo.real_fluid import RealFluidMixture
+
+__all__ = ["PropertySet", "DirectRealFluidProperties", "PRNetProperties",
+           "IdealGasProperties"]
+
+
+@dataclass
+class PropertySet:
+    """Per-cell property arrays the transport equations consume."""
+
+    rho: np.ndarray
+    temperature: np.ndarray
+    mu: np.ndarray
+    alpha: np.ndarray
+    cp: np.ndarray
+
+
+class DirectRealFluidProperties:
+    """Iterative Peng-Robinson property evaluation (the PRNet target)."""
+
+    def __init__(self, mech: Mechanism, rf: RealFluidMixture | None = None):
+        self.mech = mech
+        self.rf = rf if rf is not None else RealFluidMixture(mech)
+
+    def evaluate(self, h, p, y, t_guess=None) -> PropertySet:
+        props = self.rf.properties_hp(h, p, y, t_guess=t_guess)
+        return PropertySet(props.rho, props.temperature, props.mu,
+                           props.alpha, props.cp_mass)
+
+    def h_from_t(self, t, p, y) -> np.ndarray:
+        return self.rf.h_mass(t, p, y)
+
+
+class PRNetProperties:
+    """PRNet-surrogate property evaluation."""
+
+    def __init__(self, prnet: PRNet,
+                 density_engine: InferenceEngine | None = None,
+                 transport_engine: InferenceEngine | None = None):
+        if not prnet.trained:
+            raise ValueError("PRNet must be trained before use")
+        self.prnet = prnet
+        self.density_engine = density_engine
+        self.transport_engine = transport_engine
+
+    def evaluate(self, h, p, y, t_guess=None) -> PropertySet:
+        rho, t, mu, alpha, cp = self.prnet.predict(
+            h, p, y, density_engine=self.density_engine,
+            transport_engine=self.transport_engine)
+        return PropertySet(np.maximum(rho, 1e-3), np.maximum(t, 60.0),
+                           np.maximum(mu, 1e-7), np.maximum(alpha, 1e-9),
+                           np.maximum(cp, 100.0))
+
+
+class IdealGasProperties:
+    """Ideal-gas path (cheap; for ideal-gas comparison rows of Table 1)."""
+
+    def __init__(self, mech: Mechanism, mu0: float = 2e-5, pr: float = 0.7):
+        self.mech = mech
+        self.mu0 = mu0
+        self.pr = pr
+
+    def evaluate(self, h, p, y, t_guess=None) -> PropertySet:
+        h = np.atleast_1d(np.asarray(h, dtype=float))
+        y = np.atleast_2d(y)
+        t = np.full(h.shape, 1000.0) if t_guess is None else \
+            np.array(np.broadcast_to(t_guess, h.shape), dtype=float)
+        for _ in range(30):
+            resid = self.mech.h_mass_mixture(t, y) - h
+            cp = self.mech.cp_mass_mixture(t, y)
+            t = np.clip(t - resid / cp, 60.0, 5000.0)
+            if np.max(np.abs(resid)) < 1e-3 * np.max(np.abs(h) + 1e3):
+                break
+        w = self.mech.mean_molecular_weight(y)
+        p_arr = np.broadcast_to(np.asarray(p, dtype=float), t.shape)
+        rho = p_arr * w / (R_UNIVERSAL * t)
+        cp = self.mech.cp_mass_mixture(t, y)
+        mu = self.mu0 * (t / 300.0) ** 0.7
+        alpha = mu / (rho * self.pr) * cp / cp  # nu/Pr
+        return PropertySet(rho, t, mu, alpha, cp)
+
+    def h_from_t(self, t, p, y) -> np.ndarray:
+        return self.mech.h_mass_mixture(np.atleast_1d(np.asarray(t, float)),
+                                        np.atleast_2d(y))

@@ -1,0 +1,42 @@
+"""From-scratch numpy DNN stack (the PyTorch substitute).
+
+Linear/GeLU layers with backprop and Adam training, Z-score/Box-Cox
+scaling, FP16 mixed-precision emulation, the 2nd-order GeLU tabulation
+of Sec. 3.3.2, the ODENet chemistry surrogate, the PRNet real-fluid
+property surrogate and the optimized batched inference engine.
+"""
+
+from .gelu_table import GeLUTable
+from .inference import InferenceEngine, InferenceStats
+from .layers import GeLU, Identity, Linear, gelu_exact, gelu_grad
+from .network import MLP
+from .odenet import ODENet
+from .prnet import PRNet, sample_property_manifold
+from .quantize import QuantizedMLPWeights, mixed_linear_forward, quantize_fp16
+from .scaling import BoxCoxTransform, ZScoreScaler
+from .training import Adam, TrainingHistory, gradient_check, mse_loss, train_mlp
+
+__all__ = [
+    "Adam",
+    "BoxCoxTransform",
+    "GeLU",
+    "GeLUTable",
+    "Identity",
+    "InferenceEngine",
+    "InferenceStats",
+    "Linear",
+    "MLP",
+    "ODENet",
+    "PRNet",
+    "QuantizedMLPWeights",
+    "TrainingHistory",
+    "ZScoreScaler",
+    "gelu_exact",
+    "gelu_grad",
+    "gradient_check",
+    "mixed_linear_forward",
+    "mse_loss",
+    "quantize_fp16",
+    "sample_property_manifold",
+    "train_mlp",
+]

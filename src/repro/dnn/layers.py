@@ -1,0 +1,121 @@
+"""Neural-network layers (numpy, from scratch).
+
+Linear layers and the GeLU activation in the exact tanh form the paper
+quotes: ``0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3)))``.  Each
+layer implements ``forward`` and ``backward`` (accumulating parameter
+gradients) plus a FLOP count per sample for the performance model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Linear", "GeLU", "Identity", "gelu_exact", "gelu_grad"]
+
+_SQRT_2_OVER_PI = np.sqrt(2.0 / np.pi)
+_C = 0.044715
+
+
+def gelu_exact(x: np.ndarray) -> np.ndarray:
+    """GeLU via the tanh approximation (the transcendental-heavy form
+    whose cost motivates the paper's tabulation)."""
+    inner = _SQRT_2_OVER_PI * (x + _C * x**3)
+    return 0.5 * x * (1.0 + np.tanh(inner))
+
+
+def gelu_grad(x: np.ndarray) -> np.ndarray:
+    """d GeLU / dx (analytic)."""
+    inner = _SQRT_2_OVER_PI * (x + _C * x**3)
+    t = np.tanh(inner)
+    sech2 = 1.0 - t * t
+    return 0.5 * (1.0 + t) + 0.5 * x * sech2 * _SQRT_2_OVER_PI * (
+        1.0 + 3.0 * _C * x * x
+    )
+
+
+class Linear:
+    """Fully-connected layer ``y = x W^T + b``."""
+
+    def __init__(self, n_in: int, n_out: int, rng: np.random.Generator | None = None):
+        rng = rng or np.random.default_rng(0)
+        # He-style initialization scaled for GeLU.
+        self.weight = rng.normal(0.0, np.sqrt(2.0 / n_in), size=(n_out, n_in))
+        self.bias = np.zeros(n_out)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._x: np.ndarray | None = None
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.weight.shape
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._x = x
+        return x @ self.weight.T + self.bias
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward before forward(training=True)")
+        self.grad_weight += grad_out.T @ self._x
+        self.grad_bias += grad_out.sum(axis=0)
+        return grad_out @ self.weight
+
+    def zero_grad(self) -> None:
+        self.grad_weight[:] = 0.0
+        self.grad_bias[:] = 0.0
+
+    def parameters(self):
+        return [(self.weight, self.grad_weight), (self.bias, self.grad_bias)]
+
+    def flops_per_sample(self) -> int:
+        n_out, n_in = self.weight.shape
+        return 2 * n_in * n_out
+
+
+class GeLU:
+    """GeLU activation layer."""
+
+    #: flops charged per element by the performance model (tanh
+    #: expansion dominates; the paper's profile attributes ~half the
+    #: baseline DNN time to it).
+    FLOPS_PER_ELEMENT = 12
+
+    def __init__(self) -> None:
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._x = x
+        return gelu_exact(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * gelu_grad(self._x)
+
+    def zero_grad(self) -> None:  # no parameters
+        pass
+
+    def parameters(self):
+        return []
+
+    def flops_per_sample(self) -> int:
+        return 0  # counted per-element by the engine
+
+
+class Identity:
+    """No-op activation (output layer)."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out
+
+    def zero_grad(self) -> None:
+        pass
+
+    def parameters(self):
+        return []
+
+    def flops_per_sample(self) -> int:
+        return 0

@@ -1,0 +1,87 @@
+"""Multilayer perceptron container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import GeLU, Identity, Linear
+
+__all__ = ["MLP"]
+
+
+class MLP:
+    """A GeLU MLP with the architecture convention of the paper:
+    ``sizes = (in, h1, ..., hk, out)`` -- GeLU after every hidden
+    linear layer, a bare linear output layer.
+    """
+
+    def __init__(self, sizes: tuple[int, ...], seed: int = 0):
+        if len(sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        self.sizes = tuple(int(s) for s in sizes)
+        rng = np.random.default_rng(seed)
+        self.layers: list = []
+        for i in range(len(sizes) - 1):
+            self.layers.append(Linear(sizes[i], sizes[i + 1], rng))
+            self.layers.append(GeLU() if i < len(sizes) - 2 else Identity())
+
+    @property
+    def n_in(self) -> int:
+        return self.sizes[0]
+
+    @property
+    def n_out(self) -> int:
+        return self.sizes[-1]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    __call__ = forward
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def parameters(self):
+        params = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def n_parameters(self) -> int:
+        return int(sum(p.size for p, _ in self.parameters()))
+
+    def linear_layers(self) -> list[Linear]:
+        return [l for l in self.layers if isinstance(l, Linear)]
+
+    def flops_per_sample(self) -> int:
+        """Dense flops per input sample (linear layers only)."""
+        return sum(l.flops_per_sample() for l in self.linear_layers())
+
+    def activation_elements_per_sample(self) -> int:
+        """Total hidden-activation elements (GeLU workload) per sample."""
+        return int(sum(self.sizes[1:-1]))
+
+    # -- persistence --------------------------------------------------
+    def save(self, path) -> None:
+        arrays = {}
+        for i, lin in enumerate(self.linear_layers()):
+            arrays[f"w{i}"] = lin.weight
+            arrays[f"b{i}"] = lin.bias
+        np.savez(path, sizes=np.array(self.sizes), **arrays)
+
+    @classmethod
+    def load(cls, path) -> "MLP":
+        data = np.load(path)
+        net = cls(tuple(int(s) for s in data["sizes"]))
+        for i, lin in enumerate(net.linear_layers()):
+            lin.weight[:] = data[f"w{i}"]
+            lin.bias[:] = data[f"b{i}"]
+        return net

@@ -1,0 +1,69 @@
+"""Input/output transforms for the surrogates.
+
+The paper Z-score-normalizes all DNN inputs (mean 0, std 1) -- the
+property that makes FP16 inference viable (Sec. 3.3.1).  DeepFlame
+additionally uses a Box-Cox power transform on species mass fractions
+to spread the many-orders-of-magnitude dynamic range before
+normalization; both are provided.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ZScoreScaler", "BoxCoxTransform"]
+
+
+class ZScoreScaler:
+    """Per-feature standardization ``(x - mean) / std``."""
+
+    def __init__(self) -> None:
+        self.mean: np.ndarray | None = None
+        self.std: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "ZScoreScaler":
+        x = np.asarray(x, dtype=float)
+        self.mean = x.mean(axis=0)
+        self.std = np.maximum(x.std(axis=0), 1e-30)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        self._check()
+        return (np.asarray(x, dtype=float) - self.mean) / self.std
+
+    def inverse(self, z: np.ndarray) -> np.ndarray:
+        self._check()
+        return np.asarray(z, dtype=float) * self.std + self.mean
+
+    def _check(self) -> None:
+        if self.mean is None:
+            raise RuntimeError("scaler not fitted")
+
+    def state(self) -> dict:
+        return {"mean": self.mean, "std": self.std}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ZScoreScaler":
+        s = cls()
+        s.mean = np.asarray(state["mean"], float)
+        s.std = np.asarray(state["std"], float)
+        return s
+
+
+class BoxCoxTransform:
+    """One-parameter Box-Cox ``(x^lambda - 1) / lambda`` on non-negative
+    data (DeepFlame uses lambda ~ 0.1 for mass fractions)."""
+
+    def __init__(self, lam: float = 0.1, eps: float = 1e-30):
+        if lam <= 0:
+            raise ValueError("lambda must be positive")
+        self.lam = float(lam)
+        self.eps = float(eps)
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        x = np.maximum(np.asarray(x, dtype=float), self.eps)
+        return (np.power(x, self.lam) - 1.0) / self.lam
+
+    def inverse(self, z: np.ndarray) -> np.ndarray:
+        base = np.maximum(1.0 + self.lam * np.asarray(z, dtype=float), 0.0)
+        return np.power(base, 1.0 / self.lam)

@@ -1,0 +1,140 @@
+"""Training: Adam optimizer, MSE loss, minibatch loop, gradient checks.
+
+Replaces the PyTorch training pipeline the paper's surrogates come
+from; small surrogates train in seconds in numpy, which is all the
+accuracy experiments need (the paper-size architectures are exercised
+for *inference* performance with calibrated weights).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .network import MLP
+
+__all__ = ["Adam", "TrainingHistory", "train_mlp", "mse_loss", "gradient_check"]
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean-squared error and its gradient w.r.t. ``pred``."""
+    diff = pred - target
+    n = diff.size
+    return float(np.mean(diff * diff)), 2.0 * diff / n
+
+
+class Adam:
+    """Adam optimizer over a parameter/gradient pair list."""
+
+    def __init__(self, params, lr: float = 1e-3, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8):
+        self.params = params
+        self.lr = lr
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self.m = [np.zeros_like(p) for p, _ in params]
+        self.v = [np.zeros_like(p) for p, _ in params]
+        self.t = 0
+
+    def step(self) -> None:
+        self.t += 1
+        b1t = 1.0 - self.beta1**self.t
+        b2t = 1.0 - self.beta2**self.t
+        for (p, g), m, v in zip(self.params, self.m, self.v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)
+
+
+@dataclass
+class TrainingHistory:
+    """Loss trajectory of a training run."""
+
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+
+    @property
+    def final_train(self) -> float:
+        return self.train_loss[-1]
+
+    @property
+    def final_val(self) -> float:
+        return self.val_loss[-1] if self.val_loss else np.nan
+
+
+def train_mlp(
+    net: MLP,
+    x: np.ndarray,
+    y: np.ndarray,
+    epochs: int = 200,
+    batch_size: int = 64,
+    lr: float = 1e-3,
+    val_fraction: float = 0.1,
+    seed: int = 0,
+    lr_decay: float = 1.0,
+) -> TrainingHistory:
+    """Minibatch Adam training on (x, y); returns the loss history.
+
+    Inputs are expected pre-scaled (see
+    :class:`repro.dnn.scaling.ZScoreScaler`).
+    """
+    rng = np.random.default_rng(seed)
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    n = x.shape[0]
+    n_val = int(n * val_fraction)
+    perm = rng.permutation(n)
+    val_idx, train_idx = perm[:n_val], perm[n_val:]
+    xv, yv = x[val_idx], y[val_idx]
+    xt, yt = x[train_idx], y[train_idx]
+
+    opt = Adam(net.parameters(), lr=lr)
+    hist = TrainingHistory()
+    for epoch in range(epochs):
+        order = rng.permutation(xt.shape[0])
+        epoch_loss, n_batches = 0.0, 0
+        for start in range(0, xt.shape[0], batch_size):
+            idx = order[start:start + batch_size]
+            net.zero_grad()
+            pred = net.forward(xt[idx], training=True)
+            loss, grad = mse_loss(pred, yt[idx])
+            net.backward(grad)
+            opt.step()
+            epoch_loss += loss
+            n_batches += 1
+        opt.lr *= lr_decay
+        hist.train_loss.append(epoch_loss / max(n_batches, 1))
+        if n_val:
+            val_pred = net.forward(xv)
+            hist.val_loss.append(mse_loss(val_pred, yv)[0])
+    return hist
+
+
+def gradient_check(net: MLP, x: np.ndarray, y: np.ndarray,
+                   eps: float = 1e-6, n_checks: int = 20,
+                   seed: int = 0) -> float:
+    """Max relative error between backprop and central finite
+    differences over ``n_checks`` random parameters."""
+    rng = np.random.default_rng(seed)
+    net.zero_grad()
+    pred = net.forward(x, training=True)
+    _, grad = mse_loss(pred, y)
+    net.backward(grad)
+    worst = 0.0
+    params = net.parameters()
+    for _ in range(n_checks):
+        p, g = params[rng.integers(len(params))]
+        flat_idx = rng.integers(p.size)
+        idx = np.unravel_index(flat_idx, p.shape)
+        orig = p[idx]
+        p[idx] = orig + eps
+        lp, _ = mse_loss(net.forward(x), y)
+        p[idx] = orig - eps
+        lm, _ = mse_loss(net.forward(x), y)
+        p[idx] = orig
+        fd = (lp - lm) / (2 * eps)
+        denom = max(abs(fd), abs(g[idx]), 1e-12)
+        worst = max(worst, abs(fd - g[idx]) / denom)
+    return worst

@@ -1,0 +1,43 @@
+"""Finite-volume discretization substrate (the OpenFOAM role).
+
+Cell fields with boundary conditions, implicit fvm operators (ddt, div,
+laplacian, Sp) returning LDU equations, explicit fvc operators
+(div, grad, laplacian) and the conflict-avoiding two-phase parallel
+assembly of Sec. 3.2.4.
+"""
+
+from .boundary import BoundaryCondition, FixedGradient, FixedValue, ZeroGradient
+from .construction import FaceClassification, classify_faces, two_phase_scatter
+from .fields import SurfaceField, VolField
+from .operators import (
+    FVMatrix,
+    fvc_div,
+    fvc_grad,
+    fvc_laplacian,
+    fvc_surface_integral,
+    fvm_ddt,
+    fvm_div,
+    fvm_laplacian,
+    fvm_sp,
+)
+
+__all__ = [
+    "BoundaryCondition",
+    "FVMatrix",
+    "FaceClassification",
+    "FixedGradient",
+    "FixedValue",
+    "SurfaceField",
+    "VolField",
+    "ZeroGradient",
+    "classify_faces",
+    "fvc_div",
+    "fvc_grad",
+    "fvc_laplacian",
+    "fvc_surface_integral",
+    "fvm_ddt",
+    "fvm_div",
+    "fvm_laplacian",
+    "fvm_sp",
+    "two_phase_scatter",
+]

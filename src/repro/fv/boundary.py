@@ -1,0 +1,85 @@
+"""Boundary conditions for FV fields.
+
+Each condition supplies (a) the boundary-face value used by explicit
+operators and (b) the implicit coefficient pair used when assembling
+matrices, in OpenFOAM's convention:
+
+* ``value_coeffs``  -> (internal, boundary): face value =
+  ``internal * x_cell + boundary``
+* ``gradient_coeffs`` -> (internal, boundary): face-normal gradient =
+  ``internal * x_cell + boundary`` (per unit length, uses the
+  boundary delta coefficient).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BoundaryCondition", "FixedValue", "ZeroGradient", "FixedGradient"]
+
+
+class BoundaryCondition:
+    """Base class; subclasses implement the coefficient pairs."""
+
+    def face_values(self, cell_values: np.ndarray, delta: np.ndarray) -> np.ndarray:
+        vi, vb = self.value_coeffs(delta)
+        if cell_values.ndim == 2:
+            vb = np.asarray(vb)
+            if vb.ndim == 1:
+                vb = vb[:, None]
+            return vi[:, None] * cell_values + vb
+        return vi * cell_values + vb
+
+    def value_coeffs(self, delta: np.ndarray):
+        raise NotImplementedError
+
+    def gradient_coeffs(self, delta: np.ndarray):
+        raise NotImplementedError
+
+
+class FixedValue(BoundaryCondition):
+    """Dirichlet: the face value is prescribed."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def _vb(self, delta: np.ndarray):
+        v = np.asarray(self.value, dtype=float)
+        if v.ndim == 0:
+            return np.full(delta.shape, float(v))
+        return np.broadcast_to(v, delta.shape + v.shape[-1:] if v.ndim else delta.shape)
+
+    def value_coeffs(self, delta: np.ndarray):
+        return np.zeros_like(delta), self._vb(delta)
+
+    def gradient_coeffs(self, delta: np.ndarray):
+        # d(x)/dn at the face = delta * (vb - x_cell)
+        vb = self._vb(delta)
+        if np.asarray(vb).ndim == 2:
+            return -delta, delta[:, None] * vb
+        return -delta, delta * vb
+
+
+class ZeroGradient(BoundaryCondition):
+    """Homogeneous Neumann: face value copies the cell value."""
+
+    def value_coeffs(self, delta: np.ndarray):
+        return np.ones_like(delta), np.zeros_like(delta)
+
+    def gradient_coeffs(self, delta: np.ndarray):
+        return np.zeros_like(delta), np.zeros_like(delta)
+
+
+class FixedGradient(BoundaryCondition):
+    """Inhomogeneous Neumann: prescribed face-normal gradient."""
+
+    def __init__(self, gradient):
+        self.gradient = gradient
+
+    def value_coeffs(self, delta: np.ndarray):
+        g = np.broadcast_to(np.asarray(self.gradient, float), delta.shape)
+        return np.ones_like(delta), g / delta
+
+    def gradient_coeffs(self, delta: np.ndarray):
+        g = np.broadcast_to(np.asarray(self.gradient, float), delta.shape)
+        return np.zeros_like(delta), g

@@ -1,0 +1,137 @@
+"""Volume and surface fields over an unstructured mesh."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mesh.unstructured import UnstructuredMesh
+from .boundary import BoundaryCondition, ZeroGradient
+
+__all__ = ["VolField", "SurfaceField"]
+
+
+class VolField:
+    """A cell-centred field (scalar or 3-vector).
+
+    Parameters
+    ----------
+    name:
+        Field name (diagnostics).
+    mesh:
+        The mesh the field lives on.
+    values:
+        Cell values: shape ``(n_cells,)`` or ``(n_cells, 3)``.
+    boundary:
+        Patch name -> :class:`BoundaryCondition`; patches not listed
+        default to zero-gradient.  Periodic wrap faces are internal
+        faces and never appear here.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        mesh: UnstructuredMesh,
+        values: np.ndarray,
+        boundary: dict[str, BoundaryCondition] | None = None,
+    ):
+        self.name = name
+        self.mesh = mesh
+        self.values = np.asarray(values, dtype=float)
+        if self.values.shape[0] != mesh.n_cells:
+            raise ValueError(
+                f"{name}: {self.values.shape[0]} values for {mesh.n_cells} cells"
+            )
+        boundary = dict(boundary or {})
+        self.boundary: dict[str, BoundaryCondition] = {}
+        for p in mesh.patches:
+            self.boundary[p.name] = boundary.pop(p.name, ZeroGradient())
+        if boundary:
+            raise KeyError(f"unknown patches in BCs: {sorted(boundary)}")
+
+    # ----------------------------------------------------------------
+    @property
+    def is_vector(self) -> bool:
+        return self.values.ndim == 2
+
+    def copy(self, name: str | None = None) -> "VolField":
+        f = VolField(name or self.name, self.mesh, self.values.copy())
+        f.boundary = dict(self.boundary)
+        return f
+
+    def component(self, k: int) -> "VolField":
+        """Extract one component of a vector field (shares BCs by
+        projecting FixedValue vectors)."""
+        from .boundary import FixedValue
+
+        comp = VolField(f"{self.name}{'xyz'[k]}", self.mesh, self.values[:, k].copy())
+        for pname, bc in self.boundary.items():
+            if isinstance(bc, FixedValue) and np.asarray(bc.value).ndim >= 1:
+                comp.boundary[pname] = FixedValue(np.asarray(bc.value, float)[..., k])
+            else:
+                comp.boundary[pname] = bc
+        return comp
+
+    # ----------------------------------------------------------------
+    def boundary_face_values(self) -> np.ndarray:
+        """Values on all boundary faces (patch order)."""
+        mesh = self.mesh
+        deltas = mesh.boundary_delta_coeffs()
+        nif = mesh.n_internal_faces
+        shape = (mesh.n_boundary_faces,) + self.values.shape[1:]
+        out = np.empty(shape)
+        for p in mesh.patches:
+            sl = slice(p.start - nif, p.start - nif + p.size)
+            cells = mesh.owner[p.slice]
+            out[sl] = self.boundary[p.name].face_values(
+                self.values[cells], deltas[sl]
+            )
+        return out
+
+    def face_values(self, weights: np.ndarray | None = None) -> np.ndarray:
+        """Linear interpolation to all faces (internal + boundary)."""
+        mesh = self.mesh
+        w = mesh.face_interpolation_weights() if weights is None else weights
+        nif = mesh.n_internal_faces
+        own = self.values[mesh.owner[:nif]]
+        nb = self.values[mesh.neighbour]
+        if self.is_vector:
+            internal = w[:, None] * own + (1 - w)[:, None] * nb
+        else:
+            internal = w * own + (1 - w) * nb
+        return np.concatenate([internal, self.boundary_face_values()], axis=0)
+
+    def min(self) -> float:
+        return float(self.values.min())
+
+    def max(self) -> float:
+        return float(self.values.max())
+
+    def volume_integral(self) -> float | np.ndarray:
+        v = self.mesh.cell_volumes
+        if self.is_vector:
+            return (self.values * v[:, None]).sum(axis=0)
+        return float((self.values * v).sum())
+
+    def volume_average(self):
+        return self.volume_integral() / self.mesh.cell_volumes.sum()
+
+
+class SurfaceField:
+    """A face-centred field (e.g. the mass flux ``phi``)."""
+
+    def __init__(self, name: str, mesh: UnstructuredMesh, values: np.ndarray):
+        self.name = name
+        self.mesh = mesh
+        self.values = np.asarray(values, dtype=float)
+        if self.values.shape[0] != mesh.n_faces:
+            raise ValueError(
+                f"{name}: {self.values.shape[0]} values for {mesh.n_faces} faces"
+            )
+
+    @property
+    def internal(self) -> np.ndarray:
+        return self.values[: self.mesh.n_internal_faces]
+
+    @property
+    def boundary(self) -> np.ndarray:
+        return self.values[self.mesh.n_internal_faces:]

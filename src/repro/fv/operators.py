@@ -1,0 +1,294 @@
+"""Implicit (fvm) and explicit (fvc) finite-volume operators.
+
+Implicit operators return an :class:`FVMatrix` (LDU matrix + source)
+discretizing the named term; a transport equation is assembled by
+summing operators, mirroring OpenFOAM:
+
+    eqn = fvm_ddt(rho, psi, dt) + fvm_div(phi, psi) - fvm_laplacian(gamma, psi)
+    eqn.source += explicit_terms * V
+    psi_new, result = eqn.solve(...)
+
+Sign convention: the equation is ``A psi = b`` with every term moved to
+the left-hand side, i.e. ``fvm_laplacian`` carries the discretization
+of ``div(gamma grad psi)`` and is *subtracted* when it appears as
+``- laplacian`` in the PDE (use the ``-`` operator).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..solvers.controls import SolverControls, SolverResult
+from ..solvers.pbicgstab import pbicgstab_solve
+from ..solvers.pcg import pcg_solve
+from ..solvers.preconditioners import DICPreconditioner, JacobiPreconditioner
+from ..sparse.ldu import LDUMatrix
+from .fields import SurfaceField, VolField
+
+__all__ = [
+    "FVMatrix",
+    "fvm_ddt",
+    "fvm_div",
+    "fvm_laplacian",
+    "fvm_sp",
+    "fvc_div",
+    "fvc_grad",
+    "fvc_laplacian",
+    "fvc_surface_integral",
+]
+
+
+class FVMatrix:
+    """An implicit FV equation: ``A psi = source``."""
+
+    def __init__(self, field: VolField, a: LDUMatrix, source: np.ndarray):
+        self.field = field
+        self.a = a
+        self.source = np.asarray(source, dtype=float)
+
+    # -- algebra ------------------------------------------------------
+    def __add__(self, other: "FVMatrix") -> "FVMatrix":
+        if other.field is not self.field:
+            raise ValueError("operands discretize different fields")
+        return FVMatrix(self.field, self.a + other.a, self.source + other.source)
+
+    def __sub__(self, other: "FVMatrix") -> "FVMatrix":
+        return self + (other * -1.0)
+
+    def __mul__(self, scalar: float) -> "FVMatrix":
+        m = self.a.copy()
+        m.diag *= scalar
+        m.lower *= scalar
+        m.upper *= scalar
+        return FVMatrix(self.field, m, self.source * scalar)
+
+    __rmul__ = __mul__
+
+    # -- under-relaxation (OpenFOAM's relax()) -------------------------
+    def relax(self, factor: float) -> None:
+        """Implicit under-relaxation: strengthen the diagonal and
+        compensate the source with the current field values."""
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("relaxation factor in (0, 1]")
+        d_old = self.a.diag.copy()
+        self.a.diag /= factor
+        self.source += (self.a.diag - d_old) * self.field.values
+
+    def residual(self, x: np.ndarray | None = None) -> np.ndarray:
+        x = self.field.values if x is None else x
+        return self.source - self.a.matvec(x)
+
+    # -- solve ----------------------------------------------------------
+    def solve(
+        self,
+        solver: str = "auto",
+        controls: SolverControls = SolverControls(tolerance=1e-7, rel_tol=1e-3,
+                                                  max_iterations=500),
+        update: bool = True,
+    ) -> tuple[np.ndarray, SolverResult]:
+        """Solve the system; optionally write back into the field."""
+        if solver == "auto":
+            solver = "PCG" if self.a.is_symmetric(tol=1e-14) else "PBiCGStab"
+        if solver == "PCG":
+            pre = DICPreconditioner(self.a).apply if self.a.n < 50_000 else \
+                JacobiPreconditioner(self.a).apply
+            x, res = pcg_solve(self.a, self.source, x0=self.field.values,
+                               preconditioner=pre, controls=controls)
+        elif solver == "PBiCGStab":
+            x, res = pbicgstab_solve(
+                self.a, self.source, x0=self.field.values,
+                preconditioner=JacobiPreconditioner(self.a).apply,
+                controls=controls)
+        elif solver == "GAMG":
+            from ..solvers.gamg import GAMGSolver
+
+            x, res = GAMGSolver(self.a).solve(self.source, x0=self.field.values,
+                                              controls=controls)
+        else:
+            raise ValueError(f"unknown solver {solver!r}")
+        if update:
+            self.field.values[:] = x
+        return x, res
+
+
+# ----------------------------------------------------------------------
+def fvm_ddt(rho: np.ndarray | float, field: VolField, dt: float,
+            rho_old: np.ndarray | float | None = None,
+            old_values: np.ndarray | None = None) -> FVMatrix:
+    """Implicit Euler time derivative: ``d(rho psi)/dt``."""
+    mesh = field.mesh
+    v = mesh.cell_volumes
+    rho = np.broadcast_to(np.asarray(rho, float), (mesh.n_cells,))
+    rho_old_b = rho if rho_old is None else np.broadcast_to(
+        np.asarray(rho_old, float), (mesh.n_cells,))
+    old = field.values if old_values is None else old_values
+    a = LDUMatrix.from_mesh(mesh)
+    a.diag[:] = rho * v / dt
+    return FVMatrix(field, a, rho_old_b * v / dt * old)
+
+
+def fvm_div(phi: SurfaceField, field: VolField, scheme: str = "upwind") -> FVMatrix:
+    """Implicit divergence of ``phi * psi`` (``phi`` = face mass flux).
+
+    ``scheme``: "upwind" (stable, the large-scale runs' choice) or
+    "linear" (2nd order central).
+    """
+    mesh = field.mesh
+    nif = mesh.n_internal_faces
+    a = LDUMatrix.from_mesh(mesh)
+    b = np.zeros(mesh.n_cells)
+    phi_i = phi.internal
+
+    if scheme == "upwind":
+        pos = np.maximum(phi_i, 0.0)
+        neg = np.minimum(phi_i, 0.0)
+        # owner row: +phi * psi_f ; neighbour row: -phi * psi_f
+        np.add.at(a.diag, mesh.owner[:nif], pos)
+        a.upper[:] = neg
+        np.add.at(a.diag, mesh.neighbour, -neg)
+        a.lower[:] = -pos
+    elif scheme == "linear":
+        w = mesh.face_interpolation_weights()
+        np.add.at(a.diag, mesh.owner[:nif], phi_i * w)
+        a.upper[:] = phi_i * (1.0 - w)
+        np.add.at(a.diag, mesh.neighbour, -phi_i * (1.0 - w))
+        a.lower[:] = -phi_i * w
+    else:
+        raise ValueError(f"unknown div scheme {scheme!r}")
+
+    # Boundary faces: psi_f from the BC, flux from phi.
+    deltas = mesh.boundary_delta_coeffs()
+    for p in mesh.patches:
+        sl = slice(p.start - nif, p.start - nif + p.size)
+        cells = mesh.owner[p.slice]
+        vi, vb = field.boundary[p.name].value_coeffs(deltas[sl])
+        phib = phi.boundary[sl]
+        np.add.at(a.diag, cells, phib * vi)
+        np.add.at(b, cells, -phib * vb)
+    return FVMatrix(field, a, b)
+
+
+def fvm_laplacian(gamma: np.ndarray | float, field: VolField) -> FVMatrix:
+    """Implicit Laplacian ``div(gamma grad psi)``.
+
+    ``gamma`` may be a scalar, a cell array (interpolated to faces) or
+    a face array of length ``n_faces``.
+    """
+    mesh = field.mesh
+    nif = mesh.n_internal_faces
+    gamma_f = _face_gamma(mesh, gamma)
+    a = LDUMatrix.from_mesh(mesh)
+    b = np.zeros(mesh.n_cells)
+
+    coeff = gamma_f[:nif] * np.linalg.norm(
+        mesh.face_areas[:nif], axis=1) * mesh.face_delta_coeffs()
+    a.upper[:] = coeff
+    a.lower[:] = coeff
+    np.add.at(a.diag, mesh.owner[:nif], -coeff)
+    np.add.at(a.diag, mesh.neighbour, -coeff)
+
+    deltas = mesh.boundary_delta_coeffs()
+    mag_sf_b = np.linalg.norm(mesh.face_areas[nif:], axis=1)
+    for p in mesh.patches:
+        sl = slice(p.start - nif, p.start - nif + p.size)
+        cells = mesh.owner[p.slice]
+        gi, gb = field.boundary[p.name].gradient_coeffs(deltas[sl])
+        gsf = gamma_f[p.slice] * mag_sf_b[sl]
+        np.add.at(a.diag, cells, gsf * gi)
+        np.add.at(b, cells, -gsf * gb)
+    return FVMatrix(field, a, b)
+
+
+def fvm_sp(coeff: np.ndarray | float, field: VolField) -> FVMatrix:
+    """Implicit volumetric source ``coeff * psi`` (OpenFOAM fvm::Sp)."""
+    mesh = field.mesh
+    a = LDUMatrix.from_mesh(mesh)
+    a.diag[:] = np.broadcast_to(np.asarray(coeff, float), (mesh.n_cells,)) \
+        * mesh.cell_volumes
+    return FVMatrix(field, a, np.zeros(mesh.n_cells))
+
+
+def _face_gamma(mesh, gamma) -> np.ndarray:
+    gamma = np.asarray(gamma, dtype=float)
+    if gamma.ndim == 0:
+        return np.full(mesh.n_faces, float(gamma))
+    if gamma.shape[0] == mesh.n_faces:
+        return gamma
+    if gamma.shape[0] == mesh.n_cells:
+        f = VolField("_gamma", mesh, gamma)
+        return f.face_values()
+    raise ValueError("gamma must be scalar, per-cell or per-face")
+
+
+# -- explicit operators -------------------------------------------------
+def fvc_surface_integral(mesh, face_values: np.ndarray) -> np.ndarray:
+    """Sum of signed face values into cells (divergence building block)."""
+    nif = mesh.n_internal_faces
+    out = np.zeros((mesh.n_cells,) + face_values.shape[1:])
+    np.add.at(out, mesh.owner, face_values)
+    np.add.at(out, mesh.neighbour, -face_values[:nif])
+    return out
+
+
+def fvc_div(phi: SurfaceField, field: VolField | None = None,
+            scheme: str = "linear") -> np.ndarray:
+    """Explicit divergence per unit volume.
+
+    With ``field=None``: div(phi) itself.  With a field: div(phi psi)
+    using the requested face interpolation.
+    """
+    mesh = phi.mesh
+    if field is None:
+        face_vals = phi.values
+    else:
+        nif = mesh.n_internal_faces
+        if scheme == "upwind":
+            up = np.where(phi.internal >= 0.0,
+                          field.values[mesh.owner[:nif]],
+                          field.values[mesh.neighbour])
+            face_psi = np.concatenate([up, field.boundary_face_values()])
+        else:
+            face_psi = field.face_values()
+        face_vals = phi.values * face_psi if face_psi.ndim == 1 \
+            else phi.values[:, None] * face_psi
+    return fvc_surface_integral(mesh, face_vals) / (
+        mesh.cell_volumes[:, None] if face_vals.ndim == 2
+        else mesh.cell_volumes)
+
+
+def fvc_grad(field: VolField) -> np.ndarray:
+    """Green-Gauss cell gradient: shape ``(n_cells, 3)`` for scalars,
+    ``(n_cells, 3, 3)`` for vectors (gradient of each component)."""
+    mesh = field.mesh
+    fv = field.face_values()
+    if field.is_vector:
+        face_t = mesh.face_areas[:, :, None] * fv[:, None, :]
+    else:
+        face_t = mesh.face_areas * fv[:, None]
+    acc = fvc_surface_integral(mesh, face_t)
+    vol = mesh.cell_volumes
+    return acc / (vol[:, None, None] if field.is_vector else vol[:, None])
+
+
+def fvc_laplacian(gamma, field: VolField) -> np.ndarray:
+    """Explicit Laplacian div(gamma grad psi) per unit volume."""
+    mesh = field.mesh
+    nif = mesh.n_internal_faces
+    gamma_f = _face_gamma(mesh, gamma)
+    grad_n = (field.values[mesh.neighbour] - field.values[mesh.owner[:nif]]) \
+        * mesh.face_delta_coeffs()
+    mag_sf = np.linalg.norm(mesh.face_areas, axis=1)
+    flux_i = gamma_f[:nif] * mag_sf[:nif] * grad_n
+    deltas = mesh.boundary_delta_coeffs()
+    flux_b = np.zeros(mesh.n_boundary_faces)
+    for p in mesh.patches:
+        sl = slice(p.start - nif, p.start - nif + p.size)
+        cells = mesh.owner[p.slice]
+        gi, gb = field.boundary[p.name].gradient_coeffs(deltas[sl])
+        flux_b[sl] = gamma_f[p.slice] * mag_sf[nif:][sl] * (
+            gi * field.values[cells] + gb)
+    out = np.zeros(mesh.n_cells)
+    np.add.at(out, mesh.owner[:nif], flux_i)
+    np.add.at(out, mesh.neighbour, -flux_i)
+    np.add.at(out, mesh.owner[nif:], flux_b)
+    return out / mesh.cell_volumes

@@ -1,0 +1,156 @@
+"""The three read strategies of Sec. 3.4 and their cost model.
+
+* **master read + scatter** -- rank 0 reads the whole file, scatters
+  segments (OpenFOAM's collated default): serial read + P scatter
+  messages.
+* **parallel read** (via Foam file indexing) -- all P ranks open the
+  same file and seek/read their segment: file-open and seek contention
+  grows with the number of concurrent readers.
+* **grouped parallel read** -- sqrt(P) group leaders read their group's
+  data and scatter within the group: sqrt(P) concurrent readers and
+  sqrt(P)-sized scatters (the paper's tradeoff).
+
+Local measurements (:func:`measure_strategies`) execute the actual
+byte-for-byte access patterns on disk; :class:`IOCostModel` scales the
+pattern to the paper's 589,824 processes where the filesystem itself is
+the gated resource.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .foamfile import read_all_segments, read_collated_header
+from .indexing import build_index, indexed_read
+
+__all__ = ["IOTiming", "master_read_scatter", "parallel_read",
+           "grouped_parallel_read", "measure_strategies", "IOCostModel"]
+
+
+@dataclass
+class IOTiming:
+    """Measured wall time and op counts of one strategy."""
+
+    strategy: str
+    wall_time: float
+    file_opens: int
+    bytes_read: int
+    scatter_bytes: int
+
+
+def master_read_scatter(path, n_ranks: int) -> tuple[list[np.ndarray], IOTiming]:
+    """Rank 0 reads all segments, 'scatters' to ranks (returned list)."""
+    t0 = time.perf_counter()
+    segments = read_all_segments(path)
+    if len(segments) != n_ranks:
+        raise ValueError("rank count mismatch")
+    scatter_bytes = sum(s.nbytes for s in segments[1:])
+    return segments, IOTiming("master_read_scatter", time.perf_counter() - t0,
+                              1, sum(s.nbytes for s in segments), scatter_bytes)
+
+
+def parallel_read(path, n_ranks: int) -> tuple[list[np.ndarray], IOTiming]:
+    """Every rank opens the file and reads its indexed segment."""
+    index = build_index(path)
+    t0 = time.perf_counter()
+    segments = [indexed_read(path, index, r) for r in range(n_ranks)]
+    return segments, IOTiming("parallel_read", time.perf_counter() - t0,
+                              n_ranks, sum(s.nbytes for s in segments), 0)
+
+
+def grouped_parallel_read(path, n_ranks: int,
+                          group_size: int | None = None
+                          ) -> tuple[list[np.ndarray], IOTiming]:
+    """sqrt(P) leaders read contiguous group ranges, scatter in-group."""
+    if group_size is None:
+        group_size = max(int(round(np.sqrt(n_ranks))), 1)
+    index = build_index(path)
+    t0 = time.perf_counter()
+    segments: list[np.ndarray | None] = [None] * n_ranks
+    opens = 0
+    scatter_bytes = 0
+    for g0 in range(0, n_ranks, group_size):
+        g1 = min(g0 + group_size, n_ranks)
+        # Leader reads the whole contiguous group range in one I/O.
+        start = index[g0][0]
+        end = index[g1 - 1][1]
+        with open(path, "rb") as f:
+            f.seek(start)
+            blob = np.frombuffer(f.read(end - start), dtype="<f8")
+        opens += 1
+        pos = 0
+        for r in range(g0, g1):
+            n = (index[r][1] - index[r][0]) // 8
+            segments[r] = blob[pos:pos + n].copy()
+            pos += n
+            if r != g0:
+                scatter_bytes += n * 8
+    return segments, IOTiming("grouped_parallel_read",
+                              time.perf_counter() - t0, opens,
+                              end - index[0][0], scatter_bytes)
+
+
+def measure_strategies(path, n_ranks: int) -> dict[str, IOTiming]:
+    """Run all three strategies on a real file; results must agree."""
+    ref, t1 = master_read_scatter(path, n_ranks)
+    par, t2 = parallel_read(path, n_ranks)
+    grp, t3 = grouped_parallel_read(path, n_ranks)
+    for a, b, c in zip(ref, par, grp):
+        if not (np.array_equal(a, b) and np.array_equal(a, c)):
+            raise AssertionError("strategies disagree on file contents")
+    return {t.strategy: t for t in (t1, t2, t3)}
+
+
+class IOCostModel:
+    """Filesystem cost model at extreme process counts.
+
+    ``t_open(c)``: metadata-server cost grows linearly in the number of
+    concurrent openers ``c``; reads share the aggregate filesystem
+    bandwidth; scatters pay the network per byte.  Reproduces the
+    paper's finding that both file-open and seek time grow linearly
+    with concurrent readers, making sqrt(P) grouping optimal.
+    """
+
+    def __init__(self, open_base: float = 1e-3, open_per_reader: float = 5e-5,
+                 seek_per_reader: float = 2e-6, fs_bandwidth: float = 200e9,
+                 scatter_bandwidth_per_node: float = 10e9,
+                 serial_read_bandwidth: float = 3e9):
+        self.open_base = open_base
+        self.open_per_reader = open_per_reader
+        self.seek_per_reader = seek_per_reader
+        self.fs_bandwidth = fs_bandwidth
+        self.scatter_bw = scatter_bandwidth_per_node
+        self.serial_bw = serial_read_bandwidth
+
+    def master_read_scatter(self, total_bytes: float, n_ranks: int) -> float:
+        t_read = total_bytes / self.serial_bw
+        t_scatter = total_bytes / self.scatter_bw  # serialized at the root
+        return self.open_base + t_read + t_scatter
+
+    def parallel_read(self, total_bytes: float, n_ranks: int) -> float:
+        t_open = self.open_base + self.open_per_reader * n_ranks
+        t_seek = self.seek_per_reader * n_ranks
+        t_read = total_bytes / self.fs_bandwidth
+        return t_open + t_seek + t_read
+
+    def grouped_parallel_read(self, total_bytes: float, n_ranks: int,
+                              group_size: int | None = None) -> float:
+        g = group_size or max(int(round(np.sqrt(n_ranks))), 1)
+        readers = -(-n_ranks // g)
+        t_open = self.open_base + self.open_per_reader * readers
+        t_seek = self.seek_per_reader * readers
+        t_read = total_bytes / self.fs_bandwidth
+        # in-group scatter: each leader forwards (g-1)/g of its data,
+        # groups run concurrently.
+        t_scatter = (total_bytes / readers) * (g - 1) / g / self.scatter_bw
+        return t_open + t_seek + t_read + t_scatter
+
+    def best_group_size(self, total_bytes: float, n_ranks: int) -> int:
+        sizes = np.unique(np.clip(
+            np.round(np.geomspace(1, n_ranks, 40)).astype(int), 1, n_ranks))
+        costs = [self.grouped_parallel_read(total_bytes, n_ranks, int(s))
+                 for s in sizes]
+        return int(sizes[int(np.argmin(costs))])

@@ -1,0 +1,142 @@
+"""Synthetic liquid-rocket-engine combustor mesh.
+
+The paper's real-world case is a full-scale LOX/CH4 engine: 127
+upstream injectors, combustion chamber and exhaust nozzle, meshed with
+~21 billion hybrid unstructured elements, decomposed by angular-sector
+sweeping for weak scaling (Fig. 9).  The authors' CAD/mesh is not
+available, so this module generates the closest synthetic equivalent:
+
+* an annular chamber + converging-diverging nozzle profile,
+* grading toward the injector plate, the walls and the throat,
+* azimuthal clustering around discrete injector locations,
+* deterministic vertex jitter so cells are irregular hexahedra,
+* sector-based construction (``n_sectors`` sweeps of 22.5 deg) exactly
+  mirroring the paper's weak-scaling methodology.
+
+The mesh is logically structured in (r, theta, z) but metrically and
+graph-statistically irregular, which is what the decomposition,
+renumbering and load-balance experiments measure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .structured import build_box_mesh
+from .unstructured import Patch, UnstructuredMesh
+
+__all__ = ["build_rocket_mesh", "nozzle_radius_profile"]
+
+
+def nozzle_radius_profile(z: np.ndarray) -> np.ndarray:
+    """Outer-wall radius vs. normalized axial position ``z`` in [0,1].
+
+    Chamber (R=1) for z<0.55, converging to the throat (R=0.42) at
+    z=0.75, diverging to the exit (R=0.72) at z=1, with smooth blends.
+    """
+    z = np.asarray(z, dtype=float)
+    r_chamber, r_throat, r_exit = 1.0, 0.42, 0.72
+    conv = r_chamber + (r_throat - r_chamber) * 0.5 * (
+        1.0 - np.cos(np.pi * np.clip((z - 0.55) / 0.20, 0.0, 1.0))
+    )
+    div = r_throat + (r_exit - r_throat) * np.clip((z - 0.75) / 0.25, 0.0, 1.0) ** 1.3
+    return np.where(z < 0.75, conv, div)
+
+
+def _cluster(u: np.ndarray, centres: np.ndarray, strength: float, width: float):
+    """Monotone grading of unit coordinate ``u`` that concentrates
+    points near each value in ``centres`` (tanh-bump integral)."""
+    g = u.copy()
+    for c in centres:
+        g = g - strength * width * np.tanh((u - c) / width)
+    g = g - g.min()
+    return g / g.max()
+
+
+def build_rocket_mesh(
+    nr: int = 12,
+    ntheta_per_sector: int = 16,
+    nz: int = 48,
+    n_sectors: int = 1,
+    n_injectors_total: int = 127,
+    jitter: float = 0.15,
+    seed: int = 2025,
+) -> UnstructuredMesh:
+    """Build a rocket-combustor sector mesh.
+
+    Parameters
+    ----------
+    nr, ntheta_per_sector, nz:
+        Cells radially, azimuthally per 22.5-degree sector, and
+        axially.
+    n_sectors:
+        Number of 22.5-degree sectors swept (16 = full engine); the
+        paper's weak scaling increases the domain exactly this way.
+    n_injectors_total:
+        Injector count for the full 360-degree engine (127 in the
+        paper); the azimuthal grading clusters cells around the
+        injectors inside the built sectors.
+    jitter:
+        Interior-vertex jitter as a fraction of local spacing (makes
+        the hexahedra irregular).
+    """
+    if not 1 <= n_sectors <= 16:
+        raise ValueError("n_sectors must be in [1, 16]")
+    ntheta = ntheta_per_sector * n_sectors
+    full = n_sectors == 16
+    sector_angle = 2.0 * np.pi * n_sectors / 16.0
+
+    box = build_box_mesh(
+        nr, ntheta, nz, lengths=(1.0, 1.0, 1.0),
+        periodic=(False, full, False),
+    )
+
+    # Unit coordinates of the box points.
+    pts = box.points.copy()
+    u_r, u_t, u_z = pts[:, 0], pts[:, 1], pts[:, 2]
+
+    # Grading: radial clustering at both walls, axial clustering at the
+    # injector plate and the throat, azimuthal clustering at injectors.
+    u_r = 0.5 * (1.0 - np.cos(np.pi * u_r))  # cosine wall clustering
+    u_z = _cluster(u_z, np.array([0.0, 0.75]), 0.55, 0.08)
+    inj_angles = (np.arange(n_injectors_total) + 0.5) / n_injectors_total
+    in_range = inj_angles[inj_angles <= n_sectors / 16.0 + 1e-12] * 16.0 / n_sectors
+    u_t = _cluster(u_t, in_range, 0.35, 0.25 / max(len(in_range), 1))
+
+    # Deterministic interior jitter in unit space (never moves boundary
+    # or periodic-seam points, preserving conformity).
+    rng = np.random.default_rng(seed)
+    h = np.array([1.0 / nr, 1.0 / ntheta, 1.0 / nz])
+    uu = np.stack([u_r, u_t, u_z], axis=1)
+    interior = (
+        (pts[:, 0] > 1e-9) & (pts[:, 0] < 1 - 1e-9)
+        & (pts[:, 1] > 1e-9) & (pts[:, 1] < 1 - 1e-9)
+        & (pts[:, 2] > 1e-9) & (pts[:, 2] < 1 - 1e-9)
+    )
+    uu[interior] += (rng.random((int(interior.sum()), 3)) - 0.5) * 2 * jitter * h
+
+    # Map to physical cylindrical coordinates.
+    length = 3.0  # chamber+nozzle length in chamber-radius units
+    z_phys = uu[:, 2]
+    r_outer = nozzle_radius_profile(z_phys)
+    r_inner = 0.06
+    r_phys = r_inner + (r_outer - r_inner) * uu[:, 0]
+    theta = sector_angle * uu[:, 1]
+    new_pts = np.stack(
+        [r_phys * np.cos(theta), r_phys * np.sin(theta), length * z_phys],
+        axis=1,
+    )
+
+    rename = {
+        "xmin": "centerbody",
+        "xmax": "chamber_wall",
+        "ymin": "sector_start",
+        "ymax": "sector_end",
+        "zmin": "injector_plate",
+        "zmax": "outlet",
+    }
+    patches = [Patch(rename[p.name], p.start, p.size) for p in box.patches]
+
+    return UnstructuredMesh(
+        new_pts, box.face_nodes, box.owner, box.neighbour, patches
+    )

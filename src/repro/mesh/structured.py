@@ -1,0 +1,266 @@
+"""Structured hexahedral box meshes (the TGV benchmark domain).
+
+Generates a uniform ``nx x ny x nz`` hex mesh of a box, optionally
+periodic in any direction (periodic pairs become internal wrap faces,
+which is how the TGV's triply-periodic domain is represented).  The
+result is a regular :class:`~repro.mesh.unstructured.UnstructuredMesh`
+-- the structured-vs-unstructured comparisons of the paper (Fig. 12)
+differ only in connectivity statistics, not in code path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .unstructured import Patch, UnstructuredMesh
+
+__all__ = ["build_box_mesh", "BoxSpec"]
+
+
+class BoxSpec:
+    """Parameters of a box mesh, kept so it can be re-generated at a
+    finer resolution (runtime mesh refinement, Sec. 3.4.1)."""
+
+    def __init__(self, nx, ny, nz, lengths=(1.0, 1.0, 1.0),
+                 origin=(0.0, 0.0, 0.0), periodic=(False, False, False)):
+        self.nx, self.ny, self.nz = int(nx), int(ny), int(nz)
+        self.lengths = tuple(float(v) for v in lengths)
+        self.origin = tuple(float(v) for v in origin)
+        self.periodic = tuple(bool(v) for v in periodic)
+
+    @property
+    def n_cells(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    def refined(self, levels: int = 1) -> "BoxSpec":
+        """Spec with every cell split 2x2x2, ``levels`` times."""
+        f = 2**levels
+        return BoxSpec(self.nx * f, self.ny * f, self.nz * f,
+                       self.lengths, self.origin, self.periodic)
+
+    def build(self) -> UnstructuredMesh:
+        return build_box_mesh(self.nx, self.ny, self.nz, self.lengths,
+                              self.origin, self.periodic)
+
+
+def _cell_id(i, j, k, nx, ny):
+    return i + nx * (j + ny * k)
+
+
+def _point_id(i, j, k, nx, ny):
+    return i + (nx + 1) * (j + (ny + 1) * k)
+
+
+def build_box_mesh(
+    nx: int,
+    ny: int,
+    nz: int,
+    lengths=(1.0, 1.0, 1.0),
+    origin=(0.0, 0.0, 0.0),
+    periodic=(False, False, False),
+) -> UnstructuredMesh:
+    """Build a uniform hex box mesh.
+
+    Parameters
+    ----------
+    nx, ny, nz:
+        Cell counts per direction.
+    lengths, origin:
+        Physical box size and corner.
+    periodic:
+        Per-direction periodicity; periodic directions contribute wrap
+        faces to the internal-face list instead of boundary patches.
+    """
+    nx, ny, nz = int(nx), int(ny), int(nz)
+    lx, ly, lz = lengths
+    dx, dy, dz = lx / nx, ly / ny, lz / nz
+    x0, y0, z0 = origin
+
+    # Points grid.
+    xs = x0 + dx * np.arange(nx + 1)
+    ys = y0 + dy * np.arange(ny + 1)
+    zs = z0 + dz * np.arange(nz + 1)
+    px, py, pz = np.meshgrid(xs, ys, zs, indexing="ij")
+    # point id layout must match _point_id: i fastest
+    points = np.stack(
+        [px.transpose(2, 1, 0).ravel(), py.transpose(2, 1, 0).ravel(),
+         pz.transpose(2, 1, 0).ravel()], axis=1
+    )
+
+    def quad_x(i, j, k):
+        """Quad at constant-x plane ``i`` spanning cell (j..j+1, k..k+1),
+        normal +x."""
+        return np.stack([
+            _point_id(i, j, k, nx, ny),
+            _point_id(i, j + 1, k, nx, ny),
+            _point_id(i, j + 1, k + 1, nx, ny),
+            _point_id(i, j, k + 1, nx, ny),
+        ], axis=-1)
+
+    def quad_y(i, j, k):
+        """Quad at constant-y plane ``j``, normal +y."""
+        return np.stack([
+            _point_id(i, j, k, nx, ny),
+            _point_id(i, j, k + 1, nx, ny),
+            _point_id(i + 1, j, k + 1, nx, ny),
+            _point_id(i + 1, j, k, nx, ny),
+        ], axis=-1)
+
+    def quad_z(i, j, k):
+        """Quad at constant-z plane ``k``, normal +z."""
+        return np.stack([
+            _point_id(i, j, k, nx, ny),
+            _point_id(i + 1, j, k, nx, ny),
+            _point_id(i + 1, j + 1, k, nx, ny),
+            _point_id(i, j + 1, k, nx, ny),
+        ], axis=-1)
+
+    faces, owners, neighbours = [], [], []
+    f_centres, f_areas = [], []
+    weights, deltas = [], []
+
+    jj, kk = np.meshgrid(np.arange(ny), np.arange(nz), indexing="ij")
+    jj, kk = jj.ravel(), kk.ravel()
+    # --- internal x faces -------------------------------------------
+    for i in range(1, nx):
+        faces.append(quad_x(i, jj, kk))
+        owners.append(_cell_id(i - 1, jj, kk, nx, ny))
+        neighbours.append(_cell_id(i, jj, kk, nx, ny))
+        f_centres.append(np.stack(
+            [np.full(jj.shape, x0 + i * dx), y0 + (jj + 0.5) * dy,
+             z0 + (kk + 0.5) * dz], axis=1))
+        f_areas.append(np.tile([dy * dz, 0.0, 0.0], (jj.size, 1)))
+        weights.append(np.full(jj.size, 0.5))
+        deltas.append(np.full(jj.size, 1.0 / dx))
+    if periodic[0]:
+        faces.append(quad_x(nx, jj, kk))
+        owners.append(_cell_id(nx - 1, jj, kk, nx, ny))
+        neighbours.append(_cell_id(0, jj, kk, nx, ny))
+        f_centres.append(np.stack(
+            [np.full(jj.shape, x0 + lx), y0 + (jj + 0.5) * dy,
+             z0 + (kk + 0.5) * dz], axis=1))
+        f_areas.append(np.tile([dy * dz, 0.0, 0.0], (jj.size, 1)))
+        weights.append(np.full(jj.size, 0.5))
+        deltas.append(np.full(jj.size, 1.0 / dx))
+
+    ii, kk2 = np.meshgrid(np.arange(nx), np.arange(nz), indexing="ij")
+    ii, kk2 = ii.ravel(), kk2.ravel()
+    # --- internal y faces -------------------------------------------
+    for j in range(1, ny):
+        faces.append(quad_y(ii, j, kk2))
+        owners.append(_cell_id(ii, j - 1, kk2, nx, ny))
+        neighbours.append(_cell_id(ii, j, kk2, nx, ny))
+        f_centres.append(np.stack(
+            [x0 + (ii + 0.5) * dx, np.full(ii.shape, y0 + j * dy),
+             z0 + (kk2 + 0.5) * dz], axis=1))
+        f_areas.append(np.tile([0.0, dx * dz, 0.0], (ii.size, 1)))
+        weights.append(np.full(ii.size, 0.5))
+        deltas.append(np.full(ii.size, 1.0 / dy))
+    if periodic[1]:
+        faces.append(quad_y(ii, ny, kk2))
+        owners.append(_cell_id(ii, ny - 1, kk2, nx, ny))
+        neighbours.append(_cell_id(ii, 0, kk2, nx, ny))
+        f_centres.append(np.stack(
+            [x0 + (ii + 0.5) * dx, np.full(ii.shape, y0 + ly),
+             z0 + (kk2 + 0.5) * dz], axis=1))
+        f_areas.append(np.tile([0.0, dx * dz, 0.0], (ii.size, 1)))
+        weights.append(np.full(ii.size, 0.5))
+        deltas.append(np.full(ii.size, 1.0 / dy))
+
+    ii2, jj2 = np.meshgrid(np.arange(nx), np.arange(ny), indexing="ij")
+    ii2, jj2 = ii2.ravel(), jj2.ravel()
+    # --- internal z faces -------------------------------------------
+    for k in range(1, nz):
+        faces.append(quad_z(ii2, jj2, k))
+        owners.append(_cell_id(ii2, jj2, k - 1, nx, ny))
+        neighbours.append(_cell_id(ii2, jj2, k, nx, ny))
+        f_centres.append(np.stack(
+            [x0 + (ii2 + 0.5) * dx, y0 + (jj2 + 0.5) * dy,
+             np.full(ii2.shape, z0 + k * dz)], axis=1))
+        f_areas.append(np.tile([0.0, 0.0, dx * dy], (ii2.size, 1)))
+        weights.append(np.full(ii2.size, 0.5))
+        deltas.append(np.full(ii2.size, 1.0 / dz))
+    if periodic[2]:
+        faces.append(quad_z(ii2, jj2, nz))
+        owners.append(_cell_id(ii2, jj2, nz - 1, nx, ny))
+        neighbours.append(_cell_id(ii2, jj2, 0, nx, ny))
+        f_centres.append(np.stack(
+            [x0 + (ii2 + 0.5) * dx, y0 + (jj2 + 0.5) * dy,
+             np.full(ii2.shape, z0 + lz)], axis=1))
+        f_areas.append(np.tile([0.0, 0.0, dx * dy], (ii2.size, 1)))
+        weights.append(np.full(ii2.size, 0.5))
+        deltas.append(np.full(ii2.size, 1.0 / dz))
+
+    # --- boundary patches -------------------------------------------
+    patches = []
+    b_deltas = []
+
+    def add_patch(name, quads, owner_ids, centres, areas, delta):
+        start = sum(f.shape[0] for f in faces)
+        faces.append(quads)
+        owners.append(owner_ids)
+        f_centres.append(centres)
+        f_areas.append(areas)
+        b_deltas.append(np.full(quads.shape[0], delta))
+        patches.append(Patch(name, start, quads.shape[0]))
+
+    if not periodic[0]:
+        add_patch("xmin", quad_x(0, jj, kk)[:, ::-1],
+                  _cell_id(0, jj, kk, nx, ny),
+                  np.stack([np.full(jj.shape, x0), y0 + (jj + 0.5) * dy,
+                            z0 + (kk + 0.5) * dz], axis=1),
+                  np.tile([-dy * dz, 0.0, 0.0], (jj.size, 1)), 2.0 / dx)
+        add_patch("xmax", quad_x(nx, jj, kk),
+                  _cell_id(nx - 1, jj, kk, nx, ny),
+                  np.stack([np.full(jj.shape, x0 + lx), y0 + (jj + 0.5) * dy,
+                            z0 + (kk + 0.5) * dz], axis=1),
+                  np.tile([dy * dz, 0.0, 0.0], (jj.size, 1)), 2.0 / dx)
+    if not periodic[1]:
+        add_patch("ymin", quad_y(ii, 0, kk2)[:, ::-1],
+                  _cell_id(ii, 0, kk2, nx, ny),
+                  np.stack([x0 + (ii + 0.5) * dx, np.full(ii.shape, y0),
+                            z0 + (kk2 + 0.5) * dz], axis=1),
+                  np.tile([0.0, -dx * dz, 0.0], (ii.size, 1)), 2.0 / dy)
+        add_patch("ymax", quad_y(ii, ny, kk2),
+                  _cell_id(ii, ny - 1, kk2, nx, ny),
+                  np.stack([x0 + (ii + 0.5) * dx, np.full(ii.shape, y0 + ly),
+                            z0 + (kk2 + 0.5) * dz], axis=1),
+                  np.tile([0.0, dx * dz, 0.0], (ii.size, 1)), 2.0 / dy)
+    if not periodic[2]:
+        add_patch("zmin", quad_z(ii2, jj2, 0)[:, ::-1],
+                  _cell_id(ii2, jj2, 0, nx, ny),
+                  np.stack([x0 + (ii2 + 0.5) * dx, y0 + (jj2 + 0.5) * dy,
+                            np.full(ii2.shape, z0)], axis=1),
+                  np.tile([0.0, 0.0, -dx * dy], (ii2.size, 1)), 2.0 / dz)
+        add_patch("zmax", quad_z(ii2, jj2, nz),
+                  _cell_id(ii2, jj2, nz - 1, nx, ny),
+                  np.stack([x0 + (ii2 + 0.5) * dx, y0 + (jj2 + 0.5) * dy,
+                            np.full(ii2.shape, z0 + lz)], axis=1),
+                  np.tile([0.0, 0.0, dx * dy], (ii2.size, 1)), 2.0 / dz)
+
+    face_nodes = np.concatenate(faces, axis=0)
+    owner = np.concatenate(owners)
+    neighbour = np.concatenate(neighbours) if neighbours else np.empty(0, np.int64)
+
+    # Analytic cell geometry.
+    n_cells = nx * ny * nz
+    ci = np.arange(n_cells)
+    cx = x0 + (ci % nx + 0.5) * dx
+    cy = y0 + ((ci // nx) % ny + 0.5) * dy
+    cz = z0 + (ci // (nx * ny) + 0.5) * dz
+    cell_centres = np.stack([cx, cy, cz], axis=1)
+    cell_volumes = np.full(n_cells, dx * dy * dz)
+
+    mesh = UnstructuredMesh(
+        points, face_nodes, owner, neighbour, patches,
+        geometry=(np.concatenate(f_centres, axis=0),
+                  np.concatenate(f_areas, axis=0),
+                  cell_centres, cell_volumes),
+    )
+    mesh._face_weights = np.concatenate(weights) if weights else np.empty(0)
+    mesh._face_deltas = np.concatenate(deltas) if deltas else np.empty(0)
+    mesh._boundary_deltas = (
+        np.concatenate(b_deltas) if b_deltas else np.empty(0)
+    )
+    mesh.spec = BoxSpec(nx, ny, nz, lengths, origin, periodic)
+    return mesh

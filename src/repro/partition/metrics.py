@@ -1,0 +1,76 @@
+"""Decomposition quality metrics.
+
+Computes the statistics the paper reports for its two-level scheme:
+load balance (mean/max/std cell counts per process, Sec. 3.1),
+edge cut, off-diagonal non-zero fraction after renumbering (Fig. 6),
+and communication topology (neighbour counts, shared faces per pair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mesh.graph import CellGraph
+
+__all__ = ["BalanceStats", "edge_cut", "balance_stats", "offdiag_fraction",
+           "block_occupancy"]
+
+
+@dataclass
+class BalanceStats:
+    """Per-part load statistics."""
+
+    counts: np.ndarray
+    mean: float
+    max: float
+    std: float
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean - 1 (0 = perfect balance)."""
+        return float(self.max / self.mean - 1.0) if self.mean else 0.0
+
+
+def balance_stats(membership: np.ndarray, weights: np.ndarray | None = None,
+                  nparts: int | None = None) -> BalanceStats:
+    """Load statistics of a partition (optionally weighted)."""
+    membership = np.asarray(membership)
+    nparts = nparts or int(membership.max()) + 1
+    counts = np.zeros(nparts)
+    np.add.at(counts, membership,
+              np.ones(membership.size) if weights is None else weights)
+    return BalanceStats(counts, float(counts.mean()), float(counts.max()),
+                        float(counts.std()))
+
+
+def edge_cut(graph: CellGraph, membership: np.ndarray) -> int:
+    """Number of graph edges crossing partition boundaries."""
+    membership = np.asarray(membership)
+    src = np.repeat(np.arange(graph.n_vertices), np.diff(graph.xadj))
+    cut = membership[src] != membership[graph.adjncy]
+    return int(cut.sum()) // 2
+
+
+def offdiag_fraction(graph: CellGraph, membership: np.ndarray) -> float:
+    """Fraction of matrix off-diagonal non-zeros that land outside the
+    diagonal blocks of the ``t x t`` block structure (Fig. 6: 16.24 %
+    naive -> 1.63 % after SCOTCH+CM)."""
+    membership = np.asarray(membership)
+    src = np.repeat(np.arange(graph.n_vertices), np.diff(graph.xadj))
+    cross = membership[src] != membership[graph.adjncy]
+    total = graph.adjncy.size
+    return float(cross.sum()) / total if total else 0.0
+
+
+def block_occupancy(graph: CellGraph, membership: np.ndarray) -> int:
+    """Number of non-empty blocks of the ``t x t`` block matrix
+    (diagonal blocks count; Fig. 6: 106 -> 68)."""
+    membership = np.asarray(membership)
+    t = int(membership.max()) + 1
+    occupied = np.zeros((t, t), dtype=bool)
+    occupied[np.arange(t), np.arange(t)] = True  # diagonal always stored
+    src = np.repeat(np.arange(graph.n_vertices), np.diff(graph.xadj))
+    occupied[membership[src], membership[graph.adjncy]] = True
+    return int(occupied.sum())

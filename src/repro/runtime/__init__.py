@@ -1,0 +1,44 @@
+"""Simulated-HPC runtime: machine models of Sunway/Fugaku/LS, an
+alpha-beta communication model, the calibrated per-stage performance
+model and the strong/weak scaling drivers."""
+
+from .comm import (
+    CommLedger,
+    SimulatedComm,
+    allreduce_time,
+    halo_exchange_time,
+)
+from .machine import FUGAKU, LS_PILOT, MACHINES, SUNWAY, MachineSpec
+from .perf_model import (
+    CALIBRATION,
+    LoopBreakdown,
+    OptimizationConfig,
+    PerfModel,
+    PerfReport,
+    WorkloadSpec,
+    tgv_workload,
+)
+from .scaling import ScalingPoint, ScalingSeries, strong_scaling, weak_scaling
+
+__all__ = [
+    "CALIBRATION",
+    "CommLedger",
+    "FUGAKU",
+    "LS_PILOT",
+    "LoopBreakdown",
+    "MACHINES",
+    "MachineSpec",
+    "OptimizationConfig",
+    "PerfModel",
+    "PerfReport",
+    "SUNWAY",
+    "ScalingPoint",
+    "ScalingSeries",
+    "SimulatedComm",
+    "WorkloadSpec",
+    "allreduce_time",
+    "halo_exchange_time",
+    "strong_scaling",
+    "tgv_workload",
+    "weak_scaling",
+]

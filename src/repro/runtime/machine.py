@@ -1,0 +1,111 @@
+"""Machine models of the three paper platforms.
+
+The trillion-cell runs are hardware-gated (Sunway: 98,304 nodes,
+Fugaku: 73,728 nodes), so the scaling experiments run the real
+algorithms at laptop scale and drive these analytic machine models with
+measured operation counts (see DESIGN.md, "Substitutions").  Peak
+numbers are the published ones (and are cross-checked against the
+paper's "% of peak" arithmetic in the tests); bandwidth/network
+parameters are representative published figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineSpec", "SUNWAY", "FUGAKU", "LS_PILOT", "MACHINES"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A many-core machine for the performance model.
+
+    All per-node quantities; flop rates in flop/s, bandwidths in B/s,
+    latencies in seconds.
+    """
+
+    name: str
+    max_nodes: int
+    cores_per_node: int
+    processes_per_node: int
+    peak_fp64_node: float
+    peak_fp32_node: float
+    peak_fp16_node: float
+    mem_bw_node: float
+    net_latency: float
+    net_bw_node: float
+    #: multiplier >1 for oversubscribed global networks.
+    net_oversubscription: float = 1.0
+
+    @property
+    def threads_per_process(self) -> int:
+        return self.cores_per_node // self.processes_per_node
+
+    def peak(self, precision: str, nodes: int) -> float:
+        """Aggregate peak flop/s at a node count for a precision label
+        (mixed-FP16 is accounted against the FP16 peak, as the paper
+        does)."""
+        per_node = {
+            "fp64": self.peak_fp64_node,
+            "fp32": self.peak_fp32_node,
+            "fp16": self.peak_fp16_node,
+            "mixed-fp16": self.peak_fp16_node,
+        }[precision]
+        return per_node * nodes
+
+    def total_cores(self, nodes: int) -> int:
+        return self.cores_per_node * nodes
+
+
+#: New Sunway: sw26010-pro, 6 core groups x 65 cores, 13.824 TF fp64
+#: (fp32 vector rate equals fp64), 55.296 TF fp16; 16:3 oversubscribed
+#: fat tree.  Paper: 102,400 nodes, 39.9 M cores.
+SUNWAY = MachineSpec(
+    name="Sunway",
+    max_nodes=102_400,
+    cores_per_node=390,
+    processes_per_node=6,  # one process per core group
+    peak_fp64_node=13.824e12,
+    peak_fp32_node=13.824e12,
+    peak_fp16_node=55.296e12,
+    mem_bw_node=307.2e9,
+    net_latency=2.5e-6,
+    net_bw_node=14.0e9,
+    net_oversubscription=16.0 / 3.0,
+)
+
+#: Fugaku: A64FX, 48 compute cores / 4 CMGs, 537 PF fp64 over 158,976
+#: nodes -> 3.379 TF/node; fp32 2x, fp16 4x; Tofu-D interconnect;
+#: 1 TB/s HBM2.
+FUGAKU = MachineSpec(
+    name="Fugaku",
+    max_nodes=158_976,
+    cores_per_node=48,
+    processes_per_node=4,  # one process per NUMA domain (CMG)
+    peak_fp64_node=3.3792e12,
+    peak_fp32_node=6.7584e12,
+    peak_fp16_node=13.5168e12,
+    mem_bw_node=1024.0e9,
+    net_latency=1.5e-6,
+    net_bw_node=40.8e9,
+)
+
+#: LS pilot system: 256 nodes, 2x LX2 (dual-die SoC), >256 cores/node,
+#: vector + 8x8 matrix engines, hybrid DDR + on-package memory.
+#: Published per-node peaks are not public; representative values
+#: chosen consistent with the paper's relative results (strong AI/fp16
+#: capability, hybrid-memory bandwidth between Sunway and Fugaku).
+LS_PILOT = MachineSpec(
+    name="LS",
+    max_nodes=256,
+    cores_per_node=256,
+    processes_per_node=8,  # one process per NUMA domain
+    peak_fp64_node=8.0e12,
+    peak_fp32_node=16.0e12,
+    peak_fp16_node=64.0e12,
+    mem_bw_node=400.0e9,
+    net_latency=2.0e-6,
+    net_bw_node=25.0e9,
+)
+
+MACHINES = {m.name: m for m in (SUNWAY, FUGAKU, LS_PILOT)}

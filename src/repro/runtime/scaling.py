@@ -1,0 +1,119 @@
+"""Strong- and weak-scaling experiment drivers (Figs. 12-14).
+
+Each driver sweeps node counts through the performance model and
+returns a series of :class:`ScalingPoint` rows carrying exactly what
+the paper's figures plot: loop time (strong scaling), achieved PFlop/s,
+parallel efficiency and percent of peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .machine import MachineSpec
+from .perf_model import OptimizationConfig, PerfModel, WorkloadSpec
+
+__all__ = ["ScalingPoint", "ScalingSeries", "strong_scaling", "weak_scaling"]
+
+
+@dataclass
+class ScalingPoint:
+    """One node-count sample of a scaling study."""
+
+    nodes: int
+    n_cells: float
+    loop_time: float
+    flop_rate: float
+    pct_peak: float
+    efficiency: float
+    time_to_solution: float
+
+    @property
+    def pflops(self) -> float:
+        return self.flop_rate / 1e15
+
+
+@dataclass
+class ScalingSeries:
+    """A full scaling sweep."""
+
+    machine: str
+    precision: str
+    mode: str  # "strong" | "weak"
+    points: list[ScalingPoint]
+
+    def efficiencies(self) -> list[float]:
+        return [p.efficiency for p in self.points]
+
+    def rows(self) -> list[dict]:
+        return [
+            {
+                "nodes": p.nodes,
+                "cells": p.n_cells,
+                "loop_time_s": p.loop_time,
+                "PFlop/s": p.pflops,
+                "pct_peak": p.pct_peak,
+                "efficiency": p.efficiency,
+                "s/DoF/cycle": p.time_to_solution,
+            }
+            for p in self.points
+        ]
+
+
+def strong_scaling(
+    machine: MachineSpec,
+    workload: WorkloadSpec,
+    node_counts: list[int],
+    cfg: OptimizationConfig | None = None,
+) -> ScalingSeries:
+    """Fixed problem size, increasing nodes (Fig. 13).
+
+    Efficiency is ``t(base) * n_base / (t(n) * n)`` with the smallest
+    node count as baseline, as in the paper.
+    """
+    cfg = cfg or OptimizationConfig.optimized()
+    model = PerfModel(machine)
+    base_nodes = node_counts[0]
+    base_time = model.report(workload, base_nodes, cfg).loop_time
+    pts = []
+    for nodes in node_counts:
+        rep = model.report(workload, nodes, cfg)
+        eff = (base_time * base_nodes) / (rep.loop_time * nodes)
+        pts.append(ScalingPoint(
+            nodes=nodes, n_cells=workload.n_cells, loop_time=rep.loop_time,
+            flop_rate=rep.flop_rate, pct_peak=rep.pct_peak(machine),
+            efficiency=eff, time_to_solution=rep.time_to_solution,
+        ))
+    return ScalingSeries(machine.name, cfg.precision, "strong", pts)
+
+
+def weak_scaling(
+    machine: MachineSpec,
+    base_workload: WorkloadSpec,
+    node_counts: list[int],
+    cfg: OptimizationConfig | None = None,
+) -> ScalingSeries:
+    """Fixed cells/node, increasing nodes (Fig. 14).
+
+    ``base_workload.n_cells`` is the cell count at ``node_counts[0]``;
+    the domain doubles with the nodes.  Efficiency is flop-rate per
+    node relative to the base point.
+    """
+    cfg = cfg or OptimizationConfig.optimized()
+    model = PerfModel(machine)
+    base_nodes = node_counts[0]
+    pts = []
+    base_rate_per_node = None
+    for nodes in node_counts:
+        wl = base_workload.scaled(nodes / base_nodes)
+        rep = model.report(wl, nodes, cfg)
+        rate_per_node = rep.flop_rate / nodes
+        if base_rate_per_node is None:
+            base_rate_per_node = rate_per_node
+        pts.append(ScalingPoint(
+            nodes=nodes, n_cells=wl.n_cells, loop_time=rep.loop_time,
+            flop_rate=rep.flop_rate, pct_peak=rep.pct_peak(machine),
+            efficiency=rate_per_node / base_rate_per_node,
+            time_to_solution=rep.time_to_solution,
+        ))
+    return ScalingSeries(machine.name, cfg.precision, "weak", pts)

@@ -1,0 +1,25 @@
+"""Linear solvers for the FV systems: PCG, PBiCGStab and GAMG with
+Jacobi / DIC / (block-)symmetric-GS preconditioning."""
+
+from .controls import SolverControls, SolverResult
+from .gamg import GAMGSolver, agglomerate
+from .pbicgstab import pbicgstab_solve
+from .pcg import REDUCTIONS_PER_PCG_ITER, pcg_solve
+from .preconditioners import (
+    DICPreconditioner,
+    JacobiPreconditioner,
+    SymGaussSeidelPreconditioner,
+)
+
+__all__ = [
+    "DICPreconditioner",
+    "GAMGSolver",
+    "JacobiPreconditioner",
+    "REDUCTIONS_PER_PCG_ITER",
+    "SolverControls",
+    "SolverResult",
+    "SymGaussSeidelPreconditioner",
+    "agglomerate",
+    "pbicgstab_solve",
+    "pcg_solve",
+]

@@ -1,0 +1,46 @@
+"""Solver convergence controls and result reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SolverControls", "SolverResult"]
+
+
+@dataclass(frozen=True)
+class SolverControls:
+    """OpenFOAM-style convergence criteria.
+
+    Convergence when the (1-norm, b-normalized) residual drops below
+    ``tolerance`` or by the factor ``rel_tol`` relative to the initial
+    residual.
+    """
+
+    tolerance: float = 1e-8
+    rel_tol: float = 0.0
+    max_iterations: int = 1000
+
+    def converged(self, res: float, res0: float) -> bool:
+        if res <= self.tolerance:
+            return True
+        return self.rel_tol > 0.0 and res <= self.rel_tol * res0
+
+
+@dataclass
+class SolverResult:
+    """Outcome of a linear solve (with operation accounting)."""
+
+    solver: str
+    iterations: int
+    initial_residual: float
+    final_residual: float
+    converged: bool
+    flops: int = 0
+    details: dict = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"SolverResult({self.solver}: it={self.iterations}, "
+            f"res {self.initial_residual:.3e} -> {self.final_residual:.3e}, "
+            f"converged={self.converged})"
+        )

@@ -1,0 +1,163 @@
+"""Geometric-Algebraic MultiGrid (OpenFOAM's GAMG).
+
+Pairwise face-coefficient agglomeration (OpenFOAM's
+``faceAreaPair``-style strategy: merge each cell with its strongest-
+coupled unmatched neighbour), Galerkin coarse operators, V-cycles with
+Gauss-Seidel smoothing and a dense direct solve at the coarsest level.
+
+The smoother can run in serial (exact GS) or block-parallel mode
+(the paper's thread-parallel smoother) at the finest level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import spsolve_triangular
+
+from ..sparse.block_csr import BlockCSRMatrix
+from ..sparse.gauss_seidel import gauss_seidel_block
+from ..sparse.ldu import LDUMatrix
+from .controls import SolverControls, SolverResult
+
+__all__ = ["GAMGSolver", "agglomerate"]
+
+
+def agglomerate(a: sp.csr_matrix) -> np.ndarray:
+    """Pairwise agglomeration by strongest off-diagonal coupling.
+
+    Returns the coarse-cell id of every fine cell; unmatched cells form
+    singletons.  Coarsening ratio approaches 2 on mesh-like graphs.
+    """
+    n = a.shape[0]
+    indptr, indices, data = a.indptr, a.indices, a.data
+    coarse = -np.ones(n, dtype=np.int64)
+    # Visit in order of decreasing strongest coupling for better pairs.
+    cid = 0
+    for v in range(n):
+        if coarse[v] >= 0:
+            continue
+        best, best_w = -1, -1.0
+        for k in range(indptr[v], indptr[v + 1]):
+            u = indices[k]
+            if u == v or coarse[u] >= 0:
+                continue
+            w = abs(data[k])
+            if w > best_w:
+                best, best_w = u, w
+        coarse[v] = cid
+        if best >= 0:
+            coarse[best] = cid
+        cid += 1
+    return coarse
+
+
+class GAMGSolver:
+    """Agglomerative multigrid for symmetric FV matrices.
+
+    Parameters
+    ----------
+    ldu:
+        The fine-level matrix.
+    n_coarsest:
+        Stop coarsening below this many cells (direct solve there).
+    pre_sweeps, post_sweeps:
+        GS smoothing sweeps per level per V-cycle.
+    block:
+        Optional fine-level :class:`BlockCSRMatrix` to use the
+        block-parallel smoother on the finest level.
+    """
+
+    def __init__(
+        self,
+        ldu: LDUMatrix,
+        n_coarsest: int = 32,
+        pre_sweeps: int = 1,
+        post_sweeps: int = 2,
+        max_levels: int = 20,
+        block: BlockCSRMatrix | None = None,
+    ):
+        self.pre_sweeps = pre_sweeps
+        self.post_sweeps = post_sweeps
+        self.block = block
+        self.levels: list[dict] = []
+        a = ldu.to_csr()
+        for _ in range(max_levels):
+            dl = sp.tril(a, 0, format="csr")
+            du = sp.triu(a, 0, format="csr")
+            self.levels.append({
+                "a": a, "dl": dl, "du": du, "d": a.diagonal(),
+            })
+            if a.shape[0] <= n_coarsest:
+                break
+            mapping = agglomerate(a)
+            nc = int(mapping.max()) + 1
+            if nc >= a.shape[0]:
+                break
+            p = sp.csr_matrix(
+                (np.ones(a.shape[0]), (np.arange(a.shape[0]), mapping)),
+                shape=(a.shape[0], nc),
+            )
+            self.levels[-1]["p"] = p
+            a = (p.T @ a @ p).tocsr()
+        self._coarse_dense = np.linalg.pinv(self.levels[-1]["a"].toarray())
+        self.flops = 0
+
+    # ----------------------------------------------------------------
+    def _smooth(self, lev: int, x: np.ndarray, b: np.ndarray,
+                sweeps: int) -> np.ndarray:
+        level = self.levels[lev]
+        if lev == 0 and self.block is not None:
+            self.flops += sweeps * 2 * level["a"].nnz
+            return gauss_seidel_block(self.block, b, x, sweeps)
+        dl, du, d = level["dl"], level["du"], level["d"]
+        for _ in range(sweeps):
+            # forward then backward sweep (symmetric GS)
+            x = spsolve_triangular(dl, b - (level["a"] @ x - dl @ x), lower=True)
+            x = spsolve_triangular(du, b - (level["a"] @ x - du @ x), lower=False)
+            self.flops += 4 * level["a"].nnz
+        return x
+
+    def _vcycle(self, lev: int, b: np.ndarray) -> np.ndarray:
+        level = self.levels[lev]
+        if lev == len(self.levels) - 1:
+            self.flops += 2 * self._coarse_dense.size
+            return self._coarse_dense @ b
+        x = self._smooth(lev, np.zeros_like(b), b, self.pre_sweeps)
+        r = b - level["a"] @ x
+        self.flops += 2 * level["a"].nnz
+        rc = level["p"].T @ r
+        xc = self._vcycle(lev + 1, rc)
+        x = x + level["p"] @ xc
+        return self._smooth(lev, x, b, self.post_sweeps)
+
+    # ----------------------------------------------------------------
+    def solve(
+        self,
+        b: np.ndarray,
+        x0: np.ndarray | None = None,
+        controls: SolverControls = SolverControls(),
+    ) -> tuple[np.ndarray, SolverResult]:
+        a = self.levels[0]["a"]
+        x = np.zeros(a.shape[0]) if x0 is None else np.asarray(x0, float).copy()
+        b = np.asarray(b, dtype=float)
+        norm_factor = np.sum(np.abs(b)) + 1e-300
+        r = b - a @ x
+        res0 = float(np.sum(np.abs(r)) / norm_factor)
+        res = res0
+        it = 0
+        start_flops = self.flops
+        for it in range(1, controls.max_iterations + 1):
+            x += self._vcycle(0, r)
+            r = b - a @ x
+            self.flops += 2 * a.nnz
+            res = float(np.sum(np.abs(r)) / norm_factor)
+            if controls.converged(res, res0):
+                return x, SolverResult(
+                    "GAMG", it, res0, res, True, self.flops - start_flops,
+                    {"levels": len(self.levels)},
+                )
+        return x, SolverResult(
+            "GAMG", it, res0, res, False, self.flops - start_flops,
+            {"levels": len(self.levels)},
+        )

@@ -1,0 +1,75 @@
+"""Preconditioned BiCGStab (OpenFOAM's PBiCGStab).
+
+Used for the asymmetric transported-scalar equations (convection makes
+the FV matrices non-symmetric under upwinding).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..sparse.ldu import LDUMatrix
+from .controls import SolverControls, SolverResult
+
+__all__ = ["pbicgstab_solve"]
+
+
+def pbicgstab_solve(
+    a: LDUMatrix,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    preconditioner: Callable[[np.ndarray], np.ndarray] | None = None,
+    controls: SolverControls = SolverControls(),
+    matvec: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> tuple[np.ndarray, SolverResult]:
+    """Solve the (possibly asymmetric) system ``A x = b`` with BiCGStab."""
+    n = a.n
+    mv = matvec if matvec is not None else a.matvec
+    precond = preconditioner if preconditioner is not None else (lambda r: r)
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=float).copy()
+    b = np.asarray(b, dtype=float)
+
+    norm_factor = np.sum(np.abs(b)) + 1e-300
+    r = b - mv(x)
+    res0 = float(np.sum(np.abs(r)) / norm_factor)
+    res = res0
+    flops = 2 * a.nnz + 2 * n
+    if controls.converged(res, res0):
+        return x, SolverResult("PBiCGStab", 0, res0, res, True, flops)
+
+    r_hat = r.copy()
+    rho_old = alpha = omega = 1.0
+    v = np.zeros(n)
+    p = np.zeros(n)
+    it = 0
+    for it in range(1, controls.max_iterations + 1):
+        rho = float(r_hat @ r)
+        if abs(rho) < 1e-300:
+            break
+        beta = (rho / rho_old) * (alpha / omega)
+        p = r + beta * (p - omega * v)
+        p_hat = precond(p)
+        v = mv(p_hat)
+        alpha = rho / float(r_hat @ v)
+        s = r - alpha * v
+        flops += 2 * a.nnz + 10 * n
+        res = float(np.sum(np.abs(s)) / norm_factor)
+        if controls.converged(res, res0):
+            x += alpha * p_hat
+            return x, SolverResult("PBiCGStab", it, res0, res, True, flops)
+        s_hat = precond(s)
+        t = mv(s_hat)
+        tt = float(t @ t)
+        omega = float(t @ s) / tt if tt > 0 else 0.0
+        x += alpha * p_hat + omega * s_hat
+        r = s - omega * t
+        rho_old = rho
+        flops += 2 * a.nnz + 10 * n
+        res = float(np.sum(np.abs(r)) / norm_factor)
+        if controls.converged(res, res0):
+            return x, SolverResult("PBiCGStab", it, res0, res, True, flops)
+        if abs(omega) < 1e-300:
+            break
+    return x, SolverResult("PBiCGStab", it, res0, res, False, flops)

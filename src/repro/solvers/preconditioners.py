@@ -1,0 +1,114 @@
+"""Preconditioners for the Krylov solvers.
+
+* :class:`JacobiPreconditioner` -- reciprocal diagonal (OpenFOAM
+  "diagonal").
+* :class:`DICPreconditioner` -- diagonal-based incomplete Cholesky on
+  the LDU pattern, OpenFOAM's standard PCG preconditioner; a faithful
+  port of its face-loop formulation.
+* :class:`SymGaussSeidelPreconditioner` -- one symmetric GS sweep,
+  serial or block-parallel (the paper's thread-parallel smoother).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import spsolve_triangular
+
+from ..sparse.block_csr import BlockCSRMatrix
+from ..sparse.ldu import LDUMatrix
+
+__all__ = [
+    "JacobiPreconditioner",
+    "DICPreconditioner",
+    "SymGaussSeidelPreconditioner",
+]
+
+
+class JacobiPreconditioner:
+    """w = r / diag(A)."""
+
+    def __init__(self, ldu: LDUMatrix):
+        self.r_diag = 1.0 / ldu.diag
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        return r * self.r_diag
+
+
+class DICPreconditioner:
+    """Diagonal-based Incomplete Cholesky on the LDU pattern.
+
+    Requires a symmetric matrix.  Faces are canonicalized to
+    owner < neighbour (periodic wrap faces may violate it) and
+    processed in ascending-owner order, which guarantees each row's
+    modified diagonal is final before it is used.
+    """
+
+    def __init__(self, ldu: LDUMatrix):
+        if not ldu.is_symmetric(tol=0.0):
+            raise ValueError("DIC requires a symmetric LDU matrix")
+        own = ldu.owner.copy()
+        nb = ldu.neighbour.copy()
+        flip = own > nb
+        own[flip], nb[flip] = nb[flip], own[flip]
+        order = np.lexsort((nb, own))
+        self.own = own[order]
+        self.nb = nb[order]
+        self.upper = ldu.upper[order]
+        r_d = ldu.diag.copy()
+        for f in range(self.own.size):
+            r_d[self.nb[f]] -= self.upper[f] ** 2 / r_d[self.own[f]]
+        self.r_d = 1.0 / r_d
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        w = r * self.r_d
+        own, nb, up, rd = self.own, self.nb, self.upper, self.r_d
+        for f in range(own.size):
+            w[nb[f]] -= rd[nb[f]] * up[f] * w[own[f]]
+        for f in range(own.size - 1, -1, -1):
+            w[own[f]] -= rd[own[f]] * up[f] * w[nb[f]]
+        return w
+
+
+class SymGaussSeidelPreconditioner:
+    """One symmetric Gauss-Seidel sweep as a preconditioner.
+
+    ``mode="serial"`` uses exact forward+backward sweeps on the global
+    CSR; ``mode="block"`` uses the paper's block-parallel variant on a
+    :class:`BlockCSRMatrix` (off-block couplings lagged).
+    """
+
+    def __init__(self, ldu: LDUMatrix, block: BlockCSRMatrix | None = None,
+                 mode: str = "serial"):
+        self.mode = mode
+        if mode == "serial":
+            a = ldu.to_csr()
+            self._dl = sp.tril(a, 0, format="csr")
+            self._du = sp.triu(a, 0, format="csr")
+            self._d = ldu.diag.copy()
+        elif mode == "block":
+            if block is None:
+                raise ValueError("block mode needs a BlockCSRMatrix")
+            self.block = block
+            self._tri = []
+            for i in range(block.t):
+                bb = block.blocks[i][i]
+                self._tri.append(
+                    (sp.tril(bb, 0, format="csr"), sp.triu(bb, 0, format="csr"),
+                     bb.diagonal())
+                )
+        else:
+            raise ValueError(f"unknown mode {mode!r}")
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        if self.mode == "serial":
+            # (D+L) D^{-1} (D+U) w = r  (symmetric GS splitting)
+            y = spsolve_triangular(self._dl, r, lower=True)
+            return spsolve_triangular(self._du, self._d * y, lower=False)
+        w = np.empty_like(r)
+        for i in range(self.block.t):
+            r0, r1 = self.block.row_ranges[i]
+            dl, du, d = self._tri[i]
+            y = spsolve_triangular(dl, r[r0:r1], lower=True)
+            w[r0:r1] = spsolve_triangular(du, d * y, lower=False)
+        return w

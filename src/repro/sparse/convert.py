@@ -1,0 +1,124 @@
+"""LDU -> block-CSR conversion with precomputed value maps (Sec. 3.2.2).
+
+The sparsity pattern of an FV matrix is static across time steps: only
+values change.  The converter therefore precomputes, once, the
+positional mapping from the LDU arrays ``[diag | upper | lower]`` into
+every block's CSR ``data`` array; per-step updates are then a single
+gather per block ("the time required for our format conversion is
+comparable to that of a single SpMV").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .block_csr import BlockCSRMatrix
+from .ldu import LDUMatrix
+
+__all__ = ["BlockConverter", "build_block_converter", "row_ranges_from_membership"]
+
+
+def row_ranges_from_membership(membership: np.ndarray) -> np.ndarray:
+    """Row ranges of each thread assuming rows are already grouped by
+    thread (i.e. the partition renumbering has been applied):
+    thread ``t`` owns rows ``[sum(counts[:t]), sum(counts[:t+1]))``."""
+    counts = np.bincount(membership)
+    ends = np.cumsum(counts)
+    starts = ends - counts
+    return np.stack([starts, ends], axis=1)
+
+
+class BlockConverter:
+    """Precomputed LDU -> BlockCSR mapping for a fixed sparsity pattern."""
+
+    def __init__(self, n: int, row_ranges: np.ndarray,
+                 structures: list[list[tuple | None]]):
+        self.n = n
+        self.row_ranges = row_ranges
+        # structures[i][j] = (indptr, indices, src_idx, shape) or None
+        self._structures = structures
+
+    def convert(self, ldu: LDUMatrix) -> BlockCSRMatrix:
+        """Build a BlockCSRMatrix from current LDU values (fast path:
+        one fancy-index gather per non-empty block)."""
+        src = np.concatenate([ldu.diag, ldu.upper, ldu.lower])
+        t = self.row_ranges.shape[0]
+        blocks: list[list[sp.csr_matrix | None]] = []
+        for i in range(t):
+            row: list[sp.csr_matrix | None] = []
+            for j in range(t):
+                s = self._structures[i][j]
+                if s is None:
+                    row.append(None)
+                    continue
+                indptr, indices, src_idx, shape = s
+                row.append(sp.csr_matrix((src[src_idx], indices, indptr),
+                                         shape=shape))
+            blocks.append(row)
+        return BlockCSRMatrix(self.n, self.row_ranges, blocks)
+
+    def update_values(self, block: BlockCSRMatrix, ldu: LDUMatrix) -> None:
+        """Refresh an existing BlockCSRMatrix's values in place."""
+        src = np.concatenate([ldu.diag, ldu.upper, ldu.lower])
+        for i in range(block.t):
+            for j in range(block.t):
+                s = self._structures[i][j]
+                if s is None:
+                    continue
+                block.blocks[i][j].data[:] = src[s[2]]
+
+
+def build_block_converter(
+    ldu: LDUMatrix, thread_of_row: np.ndarray
+) -> BlockConverter:
+    """Analyze an LDU pattern once and build the converter.
+
+    Parameters
+    ----------
+    ldu:
+        Matrix whose pattern (owner/neighbour) defines the mapping;
+        values are ignored.
+    thread_of_row:
+        Thread id per (already renumbered) row; rows of each thread
+        must be contiguous and ascending.
+    """
+    thread_of_row = np.asarray(thread_of_row, dtype=np.int64)
+    if np.any(np.diff(thread_of_row) < 0):
+        raise ValueError(
+            "rows must be grouped by thread -- apply the partition "
+            "renumbering first"
+        )
+    row_ranges = row_ranges_from_membership(thread_of_row)
+    t = row_ranges.shape[0]
+    n = ldu.n
+
+    # Global COO triplets with provenance index into [diag|upper|lower].
+    nif = ldu.n_faces
+    rows = np.concatenate([np.arange(n), ldu.owner, ldu.neighbour])
+    cols = np.concatenate([np.arange(n), ldu.neighbour, ldu.owner])
+    srcs = np.arange(n + 2 * nif)
+
+    tr = thread_of_row[rows]
+    tc = thread_of_row[cols]
+    structures: list[list[tuple | None]] = [[None] * t for _ in range(t)]
+    for i in range(t):
+        in_i = tr == i
+        r0, r1 = row_ranges[i]
+        for j in range(t):
+            mask = in_i & (tc == j)
+            if not mask.any():
+                continue
+            c0, c1 = row_ranges[j]
+            br = rows[mask] - r0
+            bc = cols[mask] - c0
+            bs = srcs[mask]
+            shape = (r1 - r0, c1 - c0)
+            # CSR-sort the entries: by row then column.
+            order = np.lexsort((bc, br))
+            br, bc, bs = br[order], bc[order], bs[order]
+            indptr = np.zeros(shape[0] + 1, dtype=np.int32)
+            np.add.at(indptr, br + 1, 1)
+            np.cumsum(indptr, out=indptr)
+            structures[i][j] = (indptr, bc.astype(np.int32), bs, shape)
+    return BlockConverter(n, row_ranges, structures)

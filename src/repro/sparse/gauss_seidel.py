@@ -1,0 +1,97 @@
+"""Gauss-Seidel smoothing: serial reference and block-parallel variant.
+
+The paper's thread-parallel Gauss-Seidel exploits the block structure:
+each thread sweeps its diagonal block exactly, while the (rare,
+~1.6 % of non-zeros after renumbering) inter-thread couplings use the
+previous iterate -- a hybrid Gauss-Seidel/Jacobi whose convergence
+penalty the paper measures at <0.1 % residual increase per iteration.
+Both variants are provided so that penalty can be reproduced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import spsolve_triangular
+
+from .block_csr import BlockCSRMatrix
+from .ldu import LDUMatrix
+
+__all__ = ["gauss_seidel_csr", "gauss_seidel_block", "SmootherStats"]
+
+
+def _tri_split(a: sp.csr_matrix):
+    lower = sp.tril(a, 0, format="csr")  # D + L
+    upper = sp.triu(a, 1, format="csr")  # strict U
+    return lower, upper
+
+
+def gauss_seidel_csr(
+    a: sp.csr_matrix, b: np.ndarray, x: np.ndarray, sweeps: int = 1
+) -> np.ndarray:
+    """Exact forward Gauss-Seidel sweeps on a CSR matrix.
+
+    ``x_{k+1} = (D+L)^{-1} (b - U x_k)`` -- the fully sequential
+    reference the paper's parallel variant is compared against.
+    """
+    dl, u = _tri_split(a)
+    x = np.asarray(x, dtype=float).copy()
+    for _ in range(sweeps):
+        x = spsolve_triangular(dl, b - u @ x, lower=True)
+    return x
+
+
+def gauss_seidel_block(
+    block: BlockCSRMatrix, b: np.ndarray, x: np.ndarray, sweeps: int = 1
+) -> np.ndarray:
+    """Block-parallel Gauss-Seidel (the paper's Sec. 3.2.3 smoother).
+
+    Every thread performs an exact GS sweep on its diagonal block; all
+    off-diagonal-block couplings are lagged to the previous iterate.
+    The outer loop over threads is order-independent (each iteration
+    reads only ``x_old`` off-block), i.e. safely parallel.
+    """
+    x = np.asarray(x, dtype=float).copy()
+    b = np.asarray(b, dtype=float)
+    tri = [
+        _tri_split(block.blocks[i][i]) if block.blocks[i][i] is not None else None
+        for i in range(block.t)
+    ]
+    for _ in range(sweeps):
+        x_old = x.copy()
+        for i in range(block.t):
+            r0, r1 = block.row_ranges[i]
+            rhs = b[r0:r1].copy()
+            for j in range(block.t):
+                if i == j or block.blocks[i][j] is None:
+                    continue
+                c0, c1 = block.row_ranges[j]
+                rhs -= block.blocks[i][j] @ x_old[c0:c1]
+            if tri[i] is None:
+                x[r0:r1] = rhs
+                continue
+            dl, u = tri[i]
+            x[r0:r1] = spsolve_triangular(dl, rhs - u @ x_old[r0:r1], lower=True)
+    return x
+
+
+class SmootherStats:
+    """Compare residual decay of serial vs block-parallel GS."""
+
+    def __init__(self, ldu: LDUMatrix, block: BlockCSRMatrix):
+        self.csr = ldu.to_csr()
+        self.block = block
+
+    def residual_histories(
+        self, b: np.ndarray, x0: np.ndarray, sweeps: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Residual 2-norms after each sweep for (serial, block)."""
+        hist_s, hist_b = [], []
+        xs = np.asarray(x0, float).copy()
+        xb = xs.copy()
+        for _ in range(sweeps):
+            xs = gauss_seidel_csr(self.csr, b, xs, 1)
+            xb = gauss_seidel_block(self.block, b, xb, 1)
+            hist_s.append(np.linalg.norm(b - self.csr @ xs))
+            hist_b.append(np.linalg.norm(b - self.csr @ xb))
+        return np.array(hist_s), np.array(hist_b)

@@ -1,0 +1,25 @@
+"""Real-fluid thermodynamics and transport substrate.
+
+Peng-Robinson / SRK cubic equations of state with van der Waals mixing
+rules, analytic departure functions, high-pressure transport
+correlations, and the iterative (E,p,Y) -> (rho,T,...) state solves
+that PRNet is trained to replace.
+"""
+
+from .cubic_eos import CubicEos, PengRobinson, SoaveRedlichKwong
+from .departure import cp_departure, enthalpy_departure
+from .mixing import VanDerWaalsMixing
+from .real_fluid import RealFluidMixture, RealFluidProperties
+from .transport import TransportModel
+
+__all__ = [
+    "CubicEos",
+    "PengRobinson",
+    "SoaveRedlichKwong",
+    "VanDerWaalsMixing",
+    "RealFluidMixture",
+    "RealFluidProperties",
+    "TransportModel",
+    "cp_departure",
+    "enthalpy_departure",
+]

@@ -1,0 +1,207 @@
+"""Cubic equations of state: Peng-Robinson and Soave-Redlich-Kwong.
+
+The paper's real-fluid accuracy rests on the Peng-Robinson (PR)
+equation of state; PRNet is trained to reproduce PR-derived mixture
+properties.  SRK is included because the SiTCom-B comparison code in
+Table 1 uses it.
+
+Both are expressed in the generalized two-parameter cubic form
+
+    p = R T / (v - b) - a(T) / (v^2 + u b v + w b^2)
+
+with (u, w) = (2, -1) for PR and (1, 0) for SRK.  Mixture parameters
+come from van der Waals one-fluid mixing rules
+(:mod:`repro.thermo.mixing`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import R_UNIVERSAL
+from ..chemistry.species import Species
+from .mixing import VanDerWaalsMixing
+
+__all__ = ["CubicEos", "PengRobinson", "SoaveRedlichKwong"]
+
+
+@dataclass
+class CubicEos:
+    """Generalized two-parameter cubic EoS over a species set.
+
+    Subclasses set the (u, w) volume-polynomial constants and the
+    alpha-function slope ``m(omega)``.
+    """
+
+    species: list[Species]
+    u: float = 2.0
+    w: float = -1.0
+    omega_a: float = 0.45724
+    omega_b: float = 0.07780
+
+    def __post_init__(self) -> None:
+        self.t_crit = np.array([s.t_crit for s in self.species])
+        self.p_crit = np.array([s.p_crit for s in self.species])
+        self.omega = np.array([s.omega for s in self.species])
+        self.mol_weights = np.array([s.molecular_weight for s in self.species])
+        r2 = R_UNIVERSAL**2
+        self.a_crit = self.omega_a * r2 * self.t_crit**2 / self.p_crit
+        self.b_pure = self.omega_b * R_UNIVERSAL * self.t_crit / self.p_crit
+        self.mixing = VanDerWaalsMixing(len(self.species))
+
+    # -- subclass hooks ----------------------------------------------
+    def m_factor(self, omega: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # ----------------------------------------------------------------
+    def alpha(self, t: np.ndarray) -> np.ndarray:
+        """Temperature correction alpha_i(T), shape ``t.shape + (ns,)``."""
+        tr = np.asarray(t, dtype=float)[..., None] / self.t_crit
+        m = self.m_factor(self.omega)
+        return (1.0 + m * (1.0 - np.sqrt(tr))) ** 2
+
+    def dalpha_dt(self, t: np.ndarray) -> np.ndarray:
+        """d(alpha_i)/dT, analytic."""
+        t = np.asarray(t, dtype=float)
+        tr = t[..., None] / self.t_crit
+        m = self.m_factor(self.omega)
+        sq = np.sqrt(tr)
+        return -(1.0 + m * (1.0 - sq)) * m / (sq * self.t_crit)
+
+    def mixture_ab(self, t: np.ndarray, x: np.ndarray):
+        """Mixture a(T), b and da/dT from mole fractions ``x``.
+
+        Returns ``(a_mix, b_mix, da_dt)`` each with the batch shape of
+        ``t``.
+        """
+        a_i = self.a_crit * self.alpha(t)  # (..., ns)
+        a_mix, b_mix = self.mixing.mix(a_i, self.b_pure, x)
+        # da/dT via the same mixing rule applied to d(a_i alpha_i)/dT,
+        # using d sqrt(a_i a_j)/dT = (a_j da_i + a_i da_j)/(2 sqrt(a_i a_j)).
+        da_i = self.a_crit * self.dalpha_dt(t)
+        da_dt = self.mixing.mix_derivative(a_i, da_i, x)
+        return a_mix, b_mix, da_dt
+
+    # ----------------------------------------------------------------
+    def compressibility(self, t, p, x, root: str = "vapor") -> np.ndarray:
+        """Compressibility factor Z from the cubic, vectorized.
+
+        ``root`` selects ``"vapor"`` (largest real root), ``"liquid"``
+        (smallest valid root) or ``"gibbs"`` (minimum Gibbs energy).
+        At supercritical conditions the cubic generally has a single
+        real root and the choice is moot.
+        """
+        t = np.atleast_1d(np.asarray(t, dtype=float))
+        p = np.broadcast_to(np.asarray(p, dtype=float), t.shape)
+        x = np.atleast_2d(x)
+        a_mix, b_mix, _ = self.mixture_ab(t, x)
+        rt = R_UNIVERSAL * t
+        big_a = a_mix * p / rt**2
+        big_b = b_mix * p / rt
+        u, w = self.u, self.w
+        # Z^3 + c2 Z^2 + c1 Z + c0 = 0
+        c2 = -(1.0 + big_b - u * big_b)
+        c1 = big_a + w * big_b**2 - u * big_b - u * big_b**2
+        c0 = -(big_a * big_b + w * big_b**2 + w * big_b**3)
+        z = np.empty_like(t)
+        for k in range(t.size):
+            roots = np.roots([1.0, c2[k], c1[k], c0[k]])
+            real = roots[np.abs(roots.imag) < 1e-9].real
+            real = real[real > big_b[k]]
+            if real.size == 0:
+                z[k] = max(roots.real.max(), big_b[k] * 1.001)
+            elif real.size == 1 or root == "vapor":
+                z[k] = real.max()
+            elif root == "liquid":
+                z[k] = real.min()
+            else:  # gibbs: pick the root with lower fugacity
+                z[k] = self._gibbs_root(real, big_a[k], big_b[k])
+        return z
+
+    def _gibbs_root(self, zs: np.ndarray, big_a: float, big_b: float) -> float:
+        u, w = self.u, self.w
+        d = np.sqrt(u * u - 4.0 * w)
+        best, best_g = zs[0], np.inf
+        for z in zs:
+            lo = np.log((2 * z + big_b * (u - d)) / (2 * z + big_b * (u + d)))
+            g = z - 1.0 - np.log(max(z - big_b, 1e-300)) + big_a / (big_b * d) * lo
+            if g < best_g:
+                best, best_g = z, g
+        return float(best)
+
+    def density(self, t, p, y, root: str = "vapor") -> np.ndarray:
+        """Mass density [kg/m^3] from T, p and *mass* fractions ``y``."""
+        t = np.atleast_1d(np.asarray(t, dtype=float))
+        y = np.atleast_2d(y)
+        x = self._mole_from_mass(y)
+        w_mix = (x * self.mol_weights).sum(axis=-1)
+        z = self.compressibility(t, p, x, root=root)
+        p_arr = np.broadcast_to(np.asarray(p, dtype=float), t.shape)
+        return p_arr * w_mix / (z * R_UNIVERSAL * t)
+
+    def pressure(self, t, rho, y) -> np.ndarray:
+        """Pressure [Pa] from T, mass density and mass fractions."""
+        t = np.atleast_1d(np.asarray(t, dtype=float))
+        rho = np.atleast_1d(np.asarray(rho, dtype=float))
+        y = np.atleast_2d(y)
+        x = self._mole_from_mass(y)
+        w_mix = (x * self.mol_weights).sum(axis=-1)
+        v = w_mix / rho  # molar volume
+        a_mix, b_mix, _ = self.mixture_ab(t, x)
+        return (
+            R_UNIVERSAL * t / (v - b_mix)
+            - a_mix / (v * v + self.u * b_mix * v + self.w * b_mix**2)
+        )
+
+    def dp_dt_const_v(self, t, rho, y) -> np.ndarray:
+        """(dp/dT)_v,x -- needed for departure cp and sound speed."""
+        t = np.atleast_1d(np.asarray(t, dtype=float))
+        rho = np.atleast_1d(np.asarray(rho, dtype=float))
+        y = np.atleast_2d(y)
+        x = self._mole_from_mass(y)
+        w_mix = (x * self.mol_weights).sum(axis=-1)
+        v = w_mix / rho
+        _, b_mix, da_dt = self.mixture_ab(t, x)
+        return R_UNIVERSAL / (v - b_mix) - da_dt / (
+            v * v + self.u * b_mix * v + self.w * b_mix**2
+        )
+
+    def dp_dv_const_t(self, t, rho, y) -> np.ndarray:
+        """(dp/dv)_T,x per mole; negative for mechanically stable states."""
+        t = np.atleast_1d(np.asarray(t, dtype=float))
+        rho = np.atleast_1d(np.asarray(rho, dtype=float))
+        y = np.atleast_2d(y)
+        x = self._mole_from_mass(y)
+        w_mix = (x * self.mol_weights).sum(axis=-1)
+        v = w_mix / rho
+        a_mix, b_mix, _ = self.mixture_ab(t, x)
+        denom = v * v + self.u * b_mix * v + self.w * b_mix**2
+        return -R_UNIVERSAL * t / (v - b_mix) ** 2 + a_mix * (
+            2.0 * v + self.u * b_mix
+        ) / denom**2
+
+    def _mole_from_mass(self, y: np.ndarray) -> np.ndarray:
+        moles = y / self.mol_weights
+        return moles / np.maximum(moles.sum(axis=-1, keepdims=True), 1e-300)
+
+
+class PengRobinson(CubicEos):
+    """Peng-Robinson EoS -- the paper's real-fluid model (PRNet target)."""
+
+    def __init__(self, species: list[Species]):
+        super().__init__(species, u=2.0, w=-1.0, omega_a=0.45724, omega_b=0.07780)
+
+    def m_factor(self, omega: np.ndarray) -> np.ndarray:
+        return 0.37464 + 1.54226 * omega - 0.26992 * omega**2
+
+
+class SoaveRedlichKwong(CubicEos):
+    """SRK EoS (used by the SiTCom-B comparison code in Table 1)."""
+
+    def __init__(self, species: list[Species]):
+        super().__init__(species, u=1.0, w=0.0, omega_a=0.42748, omega_b=0.08664)
+
+    def m_factor(self, omega: np.ndarray) -> np.ndarray:
+        return 0.480 + 1.574 * omega - 0.176 * omega**2

@@ -1,0 +1,64 @@
+"""Van der Waals one-fluid mixing rules for cubic equations of state.
+
+    a_mix = sum_ij x_i x_j sqrt(a_i a_j) (1 - k_ij)
+    b_mix = sum_i x_i b_i
+
+Binary interaction coefficients ``k_ij`` default to zero (the standard
+choice for LOX/CH4 supercritical simulations when no regression data
+is available).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["VanDerWaalsMixing"]
+
+
+class VanDerWaalsMixing:
+    """Quadratic (vdW one-fluid) mixing rules with optional k_ij."""
+
+    def __init__(self, n_species: int, k_ij: np.ndarray | None = None):
+        self.n_species = n_species
+        if k_ij is None:
+            k_ij = np.zeros((n_species, n_species))
+        k_ij = np.asarray(k_ij, dtype=float)
+        if k_ij.shape != (n_species, n_species):
+            raise ValueError("k_ij must be (ns, ns)")
+        if not np.allclose(k_ij, k_ij.T):
+            raise ValueError("k_ij must be symmetric")
+        self.k_ij = k_ij
+
+    def mix(self, a_i: np.ndarray, b_i: np.ndarray, x: np.ndarray):
+        """Mixture a and b.
+
+        Parameters
+        ----------
+        a_i:
+            Per-species attraction parameters, shape ``(..., ns)``.
+        b_i:
+            Per-species covolumes, shape ``(ns,)``.
+        x:
+            Mole fractions, shape ``(..., ns)``.
+        """
+        sqrt_a = np.sqrt(np.maximum(a_i, 0.0))
+        one_minus_k = 1.0 - self.k_ij
+        # a_mix = (x*sqrt_a) (1-k) (x*sqrt_a)^T  done batched
+        xs = x * sqrt_a
+        a_mix = np.einsum("...i,ij,...j->...", xs, one_minus_k, xs)
+        b_mix = (x * b_i).sum(axis=-1)
+        return a_mix, b_mix
+
+    def mix_derivative(self, a_i: np.ndarray, da_i: np.ndarray, x: np.ndarray):
+        """d(a_mix)/dT given per-species a_i and da_i/dT.
+
+        Uses d sqrt(a_i a_j)/dT = (a_j da_i + a_i da_j) / (2 sqrt(a_i a_j)).
+        """
+        sqrt_a = np.sqrt(np.maximum(a_i, 1e-300))
+        # d sqrt(a_i)/dT = da_i / (2 sqrt(a_i))
+        dsqrt = da_i / (2.0 * sqrt_a)
+        one_minus_k = 1.0 - self.k_ij
+        xs = x * sqrt_a
+        xds = x * dsqrt
+        # d/dT sum x_i x_j sqrt_i sqrt_j = 2 sum x_i x_j sqrt_i dsqrt_j
+        return 2.0 * np.einsum("...i,ij,...j->...", xs, one_minus_k, xds)

@@ -1,0 +1,132 @@
+"""Real-fluid mixture state solves.
+
+Combines the ideal-gas NASA-7 thermodynamics of the mechanism with the
+cubic-EoS departure functions into the property evaluations DeepFlame
+needs each time step -- and that PRNet is trained to shortcut:
+
+* ``(T, p, Y) -> rho, h, cp, mu, alpha``  (direct evaluation)
+* ``(e or h, p, Y) -> T, rho, ...``       (the implicit solve PRNet
+  replaces; a Newton iteration on temperature)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..chemistry.mechanism import Mechanism
+from .cubic_eos import CubicEos, PengRobinson
+from .departure import cp_departure, enthalpy_departure
+from .transport import TransportModel
+
+__all__ = ["RealFluidProperties", "RealFluidMixture"]
+
+
+@dataclass
+class RealFluidProperties:
+    """Bundle of per-cell real-fluid properties (the PRNet outputs)."""
+
+    rho: np.ndarray
+    temperature: np.ndarray
+    cp_mass: np.ndarray
+    h_mass: np.ndarray
+    mu: np.ndarray
+    alpha: np.ndarray
+
+
+class RealFluidMixture:
+    """Peng-Robinson real-fluid mixture over a mechanism's species set."""
+
+    def __init__(self, mech: Mechanism, eos: CubicEos | None = None):
+        self.mech = mech
+        self.eos = eos if eos is not None else PengRobinson(mech.species)
+        self.transport = TransportModel(mech)
+
+    # ----------------------------------------------------------------
+    def h_mass(self, t, p, y) -> np.ndarray:
+        """Real-fluid specific enthalpy [J/kg] at (T, p, Y)."""
+        t = np.atleast_1d(np.asarray(t, dtype=float))
+        y = np.atleast_2d(y)
+        rho = self.eos.density(t, p, y)
+        h_ig = self.mech.h_mass_mixture(t, y)
+        w_mix = self.mech.mean_molecular_weight(y)
+        h_dep = enthalpy_departure(self.eos, t, rho, y) / w_mix
+        return h_ig + h_dep
+
+    def cp_mass(self, t, p, y) -> np.ndarray:
+        """Real-fluid specific heat [J/(kg K)] at (T, p, Y)."""
+        t = np.atleast_1d(np.asarray(t, dtype=float))
+        y = np.atleast_2d(y)
+        rho = self.eos.density(t, p, y)
+        cp_ig = self.mech.cp_mass_mixture(t, y)
+        w_mix = self.mech.mean_molecular_weight(y)
+        cp_dep = cp_departure(self.eos, t, rho, y) / w_mix
+        return cp_ig + cp_dep
+
+    def properties_tp(self, t, p, y) -> RealFluidProperties:
+        """All properties from (T, p, Y) -- the PRNet training target."""
+        t = np.atleast_1d(np.asarray(t, dtype=float))
+        y = np.atleast_2d(y)
+        rho = self.eos.density(t, p, y)
+        w_mix = self.mech.mean_molecular_weight(y)
+        h = self.mech.h_mass_mixture(t, y) + enthalpy_departure(
+            self.eos, t, rho, y
+        ) / w_mix
+        cp = self.mech.cp_mass_mixture(t, y) + cp_departure(
+            self.eos, t, rho, y
+        ) / w_mix
+        mu = self.transport.viscosity(t, rho, y)
+        alpha = self.transport.thermal_diffusivity(t, rho, y, cp)
+        return RealFluidProperties(rho, t, cp, h, mu, alpha)
+
+    # ----------------------------------------------------------------
+    def temperature_from_h(
+        self,
+        h_target: np.ndarray,
+        p,
+        y,
+        t_guess: np.ndarray | None = None,
+        tol: float = 1e-8,
+        max_iter: int = 50,
+    ) -> np.ndarray:
+        """Solve T from specific enthalpy at fixed (p, Y) via Newton.
+
+        This is the per-cell iterative solve whose cost PRNet removes.
+        Newton with the real cp as the slope, safeguarded by bisection
+        bounds; converges in a handful of iterations for flame states.
+        """
+        h_target = np.atleast_1d(np.asarray(h_target, dtype=float))
+        y = np.atleast_2d(y)
+        t = (
+            np.full(h_target.shape, 1000.0)
+            if t_guess is None
+            else np.array(np.broadcast_to(t_guess, h_target.shape), dtype=float)
+        )
+        t_lo = np.full_like(t, 60.0)
+        t_hi = np.full_like(t, 5000.0)
+        for _ in range(max_iter):
+            h = self.h_mass(t, p, y)
+            resid = h - h_target
+            if np.all(np.abs(resid) <= tol * np.maximum(np.abs(h_target), 1e3)):
+                break
+            cp = np.maximum(self.cp_mass(t, p, y), 50.0)
+            above = resid > 0
+            t_hi = np.where(above, np.minimum(t_hi, t), t_hi)
+            t_lo = np.where(~above, np.maximum(t_lo, t), t_lo)
+            t_new = t - resid / cp
+            # Fall back to bisection when Newton leaves the bracket.
+            bad = (t_new <= t_lo) | (t_new >= t_hi)
+            t = np.where(bad, 0.5 * (t_lo + t_hi), t_new)
+        return t
+
+    def properties_hp(self, h, p, y, t_guess=None) -> RealFluidProperties:
+        """All properties from (h, p, Y): the full PRNet-replaced path."""
+        t = self.temperature_from_h(h, p, y, t_guess=t_guess)
+        return self.properties_tp(t, p, y)
+
+    def psi_compressibility(self, t, p, y, dp: float = 100.0) -> np.ndarray:
+        """psi = (d rho / d p)_T [s^2/m^2], used by the pressure equation."""
+        rho_p = self.eos.density(t, np.asarray(p) + dp, y)
+        rho_m = self.eos.density(t, np.asarray(p) - dp, y)
+        return (rho_p - rho_m) / (2.0 * dp)

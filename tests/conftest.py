@@ -1,0 +1,110 @@
+"""Shared fixtures: mechanism, meshes, matrices, trained surrogates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chemistry import KineticsEvaluator, load_mechanism
+from repro.mesh import build_box_mesh, build_rocket_mesh, cell_graph_from_mesh
+from repro.sparse import LDUMatrix
+
+
+@pytest.fixture(scope="session")
+def mech():
+    return load_mechanism()
+
+
+@pytest.fixture(scope="session")
+def kin(mech):
+    return KineticsEvaluator(mech)
+
+
+@pytest.fixture(scope="session")
+def box_mesh():
+    return build_box_mesh(6, 6, 6, lengths=(1.0, 1.0, 1.0))
+
+
+@pytest.fixture(scope="session")
+def periodic_mesh():
+    return build_box_mesh(6, 6, 6, lengths=(1.0, 1.0, 1.0),
+                          periodic=(True, True, True))
+
+
+@pytest.fixture(scope="session")
+def rocket_mesh():
+    return build_rocket_mesh(nr=6, ntheta_per_sector=8, nz=16, n_sectors=1)
+
+
+@pytest.fixture(scope="session")
+def rocket_graph(rocket_mesh):
+    return cell_graph_from_mesh(rocket_mesh)
+
+
+def make_laplacian_ldu(mesh, shift: float = 0.2) -> LDUMatrix:
+    """SPD graph-Laplacian-like LDU matrix on a mesh."""
+    nif = mesh.n_internal_faces
+    ldu = LDUMatrix(mesh.n_cells, mesh.owner[:nif], mesh.neighbour)
+    ldu.upper[:] = -1.0
+    ldu.lower[:] = -1.0
+    deg = (np.bincount(mesh.owner[:nif], minlength=mesh.n_cells)
+           + np.bincount(mesh.neighbour, minlength=mesh.n_cells))
+    ldu.diag[:] = deg + shift
+    return ldu
+
+
+@pytest.fixture(scope="session")
+def spd_ldu(box_mesh):
+    return make_laplacian_ldu(box_mesh)
+
+
+@pytest.fixture(scope="session")
+def pure_o2(mech):
+    y = np.zeros(mech.n_species)
+    y[mech.species_index["O2"]] = 1.0
+    return y
+
+
+@pytest.fixture(scope="session")
+def pure_ch4(mech):
+    y = np.zeros(mech.n_species)
+    y[mech.species_index["CH4"]] = 1.0
+    return y
+
+
+@pytest.fixture(scope="session")
+def stoich_mix(mech):
+    from repro.chemistry import premixed_state
+
+    return premixed_state(mech, 1400.0, 10e6)
+
+
+@pytest.fixture(scope="session")
+def tiny_odenet(mech):
+    """A small ODENet trained on a synthetic-but-consistent dataset
+    derived from one reactor trajectory (fast; accuracy bounds are
+    checked by the dedicated accuracy tests, not here)."""
+    from repro.chemistry import ConstantPressureReactor, premixed_state
+    from repro.dnn import ODENet
+
+    reactor = ConstantPressureReactor(mech, rtol=1e-6, atol=1e-9)
+    st = premixed_state(mech, 1500.0, 10e6)
+    xs, ys = reactor.sample_training_pairs([st], dt_cfd=1e-7, n_snapshots=40,
+                                           horizon=5e-5)
+    net = ODENet(mech, hidden=(48, 48), seed=0)
+    net.fit(xs[:, 0], xs[:, 1], xs[:, 2:], ys, dt=1e-7, epochs=150, lr=3e-3)
+    net._train_x = xs
+    net._train_y = ys
+    return net
+
+
+@pytest.fixture(scope="session")
+def tiny_prnet(mech):
+    from repro.dnn import PRNet
+    from repro.thermo import RealFluidMixture
+
+    rf = RealFluidMixture(mech)
+    net = PRNet(mech, density_hidden=(48, 24), transport_hidden=(48, 24))
+    net.fit_from_manifold(rf, 10e6, epochs=250)
+    net._rf = rf
+    return net

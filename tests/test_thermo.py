@@ -1,0 +1,227 @@
+"""Unit tests: cubic EoS, mixing rules, departures, transport,
+real-fluid state solves."""
+
+import numpy as np
+import pytest
+
+from repro.constants import R_UNIVERSAL
+from repro.thermo import (
+    PengRobinson,
+    RealFluidMixture,
+    SoaveRedlichKwong,
+    TransportModel,
+    VanDerWaalsMixing,
+    cp_departure,
+    enthalpy_departure,
+)
+
+
+@pytest.fixture(scope="module")
+def pr(mech):
+    return PengRobinson(mech.species)
+
+
+@pytest.fixture(scope="module")
+def rf(mech):
+    return RealFluidMixture(mech)
+
+
+class TestCubicEos:
+    def test_ideal_gas_limit(self, pr, pure_o2):
+        rho = pr.density([800.0], 1e3, pure_o2[None, :])
+        rho_ig = 1e3 * 31.998e-3 / (R_UNIVERSAL * 800.0)
+        assert rho[0] == pytest.approx(rho_ig, rel=1e-4)
+
+    def test_ch4_density_nist(self, pr, pure_ch4):
+        """CH4 at 300 K / 10 MPa: NIST gives ~77.5 kg/m^3."""
+        rho = pr.density([300.0], 10e6, pure_ch4[None, :])
+        assert rho[0] == pytest.approx(77.5, rel=0.05)
+
+    def test_lox_dense(self, pr, pure_o2):
+        """PR underpredicts LOX density ~15 %; expect 800-1000 kg/m^3."""
+        rho = pr.density([150.0], 10e6, pure_o2[None, :], root="gibbs")
+        assert 700.0 < rho[0] < 1100.0
+
+    def test_pressure_density_roundtrip(self, pr, pure_o2, pure_ch4):
+        for y, t in ((pure_o2, 150.0), (pure_ch4, 300.0), (pure_o2, 500.0)):
+            rho = pr.density([t], 10e6, y[None, :])
+            p = pr.pressure([t], rho, y[None, :])
+            assert p[0] == pytest.approx(10e6, rel=1e-8)
+
+    def test_dp_dt_analytic(self, pr, pure_o2):
+        t, rho = 200.0, 200.0
+        analytic = pr.dp_dt_const_v([t], [rho], pure_o2[None, :])
+        p1 = pr.pressure([t - 0.05], [rho], pure_o2[None, :])
+        p2 = pr.pressure([t + 0.05], [rho], pure_o2[None, :])
+        assert analytic[0] == pytest.approx((p2[0] - p1[0]) / 0.1, rel=1e-5)
+
+    def test_mechanical_stability(self, pr, pure_o2):
+        dpdv = pr.dp_dv_const_t([300.0], [100.0], pure_o2[None, :])
+        assert dpdv[0] < 0
+
+    def test_srk_differs_from_pr(self, mech, pure_o2):
+        srk = SoaveRedlichKwong(mech.species)
+        pr_ = PengRobinson(mech.species)
+        r1 = srk.density([150.0], 10e6, pure_o2[None, :], root="gibbs")
+        r2 = pr_.density([150.0], 10e6, pure_o2[None, :], root="gibbs")
+        assert r1[0] != pytest.approx(r2[0], rel=1e-3)
+        assert abs(r1[0] - r2[0]) / r2[0] < 0.25
+
+    def test_supercritical_single_root(self, pr, pure_o2):
+        """Above Pc the vapor and liquid root selections agree."""
+        zv = pr.compressibility(np.array([300.0]), 10e6,
+                                pr._mole_from_mass(pure_o2[None, :]), "vapor")
+        zl = pr.compressibility(np.array([300.0]), 10e6,
+                                pr._mole_from_mass(pure_o2[None, :]), "liquid")
+        assert zv[0] == pytest.approx(zl[0], rel=1e-10)
+
+    def test_mixture_density_between_pures(self, pr, mech):
+        y = np.zeros((1, 17))
+        y[0, mech.species_index["O2"]] = 0.5
+        y[0, mech.species_index["CH4"]] = 0.5
+        rho_mix = pr.density([300.0], 10e6, y)
+        assert 0 < rho_mix[0] < 200.0
+
+
+class TestMixing:
+    def test_pure_species_recovers_inputs(self):
+        mix = VanDerWaalsMixing(3)
+        a_i = np.array([1.0, 2.0, 3.0])
+        b_i = np.array([0.1, 0.2, 0.3])
+        x = np.array([[0.0, 1.0, 0.0]])
+        a, b = mix.mix(a_i[None, :], b_i, x)
+        assert a[0] == pytest.approx(2.0)
+        assert b[0] == pytest.approx(0.2)
+
+    def test_symmetric_kij_required(self):
+        k = np.zeros((2, 2))
+        k[0, 1] = 0.1
+        with pytest.raises(ValueError, match="symmetric"):
+            VanDerWaalsMixing(2, k)
+
+    def test_kij_reduces_attraction(self):
+        k = np.full((2, 2), 0.1)
+        np.fill_diagonal(k, 0.0)
+        mix0 = VanDerWaalsMixing(2)
+        mixk = VanDerWaalsMixing(2, k)
+        a_i = np.array([[1.0, 4.0]])
+        b_i = np.array([0.1, 0.2])
+        x = np.array([[0.5, 0.5]])
+        a0, _ = mix0.mix(a_i, b_i, x)
+        ak, _ = mixk.mix(a_i, b_i, x)
+        assert ak[0] < a0[0]
+
+    def test_mix_derivative_matches_fd(self):
+        mix = VanDerWaalsMixing(2)
+        a_i = np.array([[2.0, 5.0]])
+        da_i = np.array([[-0.01, -0.03]])
+        x = np.array([[0.3, 0.7]])
+        analytic = mix.mix_derivative(a_i, da_i, x)
+        eps = 1e-6
+        a_p, _ = mix.mix(a_i + eps * da_i, np.ones(2), x)
+        a_m, _ = mix.mix(a_i - eps * da_i, np.ones(2), x)
+        assert analytic[0] == pytest.approx((a_p[0] - a_m[0]) / (2 * eps), rel=1e-6)
+
+
+class TestDepartures:
+    def test_departure_vanishes_ideal_limit(self, pr, pure_o2):
+        rho = pr.density([800.0], 1e3, pure_o2[None, :])
+        hd = enthalpy_departure(pr, [800.0], rho, pure_o2[None, :])
+        assert abs(hd[0]) < 5.0  # J/mol, essentially zero
+
+    def test_liquid_departure_negative(self, pr, pure_o2):
+        rho = pr.density([120.0], 10e6, pure_o2[None, :], root="gibbs")
+        hd = enthalpy_departure(pr, [120.0], rho, pure_o2[None, :])
+        assert hd[0] < -2000.0
+
+    def test_cp_departure_positive_near_critical(self, pr, pure_o2):
+        """cp diverges near the pseudo-critical line."""
+        rho = pr.density([160.0], 6e6, pure_o2[None, :], root="gibbs")
+        cpd = cp_departure(pr, [160.0], rho, pure_o2[None, :])
+        assert cpd[0] > 5.0
+
+    def test_h_monotonic_in_t(self, rf, pure_o2):
+        ts = np.linspace(80.0, 400.0, 20)
+        h = rf.h_mass(ts, 10e6, np.tile(pure_o2, (20, 1)))
+        assert np.all(np.diff(h) > 0)
+
+    def test_cp_mass_matches_dh_dt(self, rf, pure_o2):
+        for t in (150.0, 300.0, 800.0):
+            cp = rf.cp_mass([t], 10e6, pure_o2[None, :])
+            dh = (rf.h_mass([t + 0.5], 10e6, pure_o2[None, :])
+                  - rf.h_mass([t - 0.5], 10e6, pure_o2[None, :]))
+            assert cp[0] == pytest.approx(dh[0], rel=2e-3)
+
+
+class TestTransport:
+    def test_viscosity_magnitude_o2(self, mech, pure_o2):
+        tr = TransportModel(mech)
+        mu = tr.mixture_viscosity_dilute(np.array([300.0]), pure_o2[None, :])
+        assert mu[0] == pytest.approx(2.07e-5, rel=0.15)
+
+    def test_viscosity_increases_with_t_dilute(self, mech, pure_o2):
+        tr = TransportModel(mech)
+        mus = tr.mixture_viscosity_dilute(np.array([300.0, 1000.0]),
+                                          np.tile(pure_o2, (2, 1)))
+        assert mus[1] > mus[0]
+
+    def test_dense_viscosity_exceeds_dilute(self, mech, pure_o2):
+        tr = TransportModel(mech)
+        mu0 = tr.mixture_viscosity_dilute(np.array([150.0]), pure_o2[None, :])
+        mu = tr.viscosity(np.array([150.0]), np.array([900.0]),
+                          pure_o2[None, :])
+        assert mu[0] > 3.0 * mu0[0]  # liquid-like enhancement
+
+    def test_conductivity_positive(self, mech, stoich_mix):
+        tr = TransportModel(mech)
+        lam = tr.thermal_conductivity(np.array([500.0]), np.array([50.0]),
+                                      stoich_mix.mass_fractions[None, :])
+        assert 0.01 < lam[0] < 1.0
+
+    def test_thermal_diffusivity_definition(self, mech, pure_ch4):
+        tr = TransportModel(mech)
+        t, rho = np.array([400.0]), np.array([40.0])
+        cp = mech.cp_mass_mixture(t, pure_ch4[None, :])
+        alpha = tr.thermal_diffusivity(t, rho, pure_ch4[None, :], cp)
+        lam = tr.thermal_conductivity(t, rho, pure_ch4[None, :])
+        assert alpha[0] == pytest.approx(lam[0] / (rho[0] * cp[0]))
+
+    def test_wilke_recovers_pure(self, mech, pure_o2):
+        tr = TransportModel(mech)
+        t = np.array([400.0])
+        mix = tr.mixture_viscosity_dilute(t, pure_o2[None, :])
+        species = tr.species_viscosity(t)[0, mech.species_index["O2"]]
+        assert mix[0] == pytest.approx(species, rel=1e-10)
+
+
+class TestRealFluidState:
+    def test_temperature_from_h_roundtrip(self, rf, mech):
+        rng = np.random.default_rng(7)
+        y = rng.random((6, 17))
+        y /= y.sum(axis=1, keepdims=True)
+        t_true = np.linspace(200.0, 3000.0, 6)
+        h = rf.h_mass(t_true, 10e6, y)
+        t_rec = rf.temperature_from_h(h, 10e6, y, t_guess=t_true * 1.3)
+        np.testing.assert_allclose(t_rec, t_true, rtol=1e-5)
+
+    def test_roundtrip_cryogenic(self, rf, pure_o2):
+        h = rf.h_mass([150.0], 10e6, pure_o2[None, :])
+        t = rf.temperature_from_h(h, 10e6, pure_o2[None, :],
+                                  t_guess=np.array([400.0]))
+        assert t[0] == pytest.approx(150.0, rel=1e-4)
+
+    def test_properties_tp_bundle(self, rf, pure_ch4):
+        props = rf.properties_tp([300.0], 10e6, pure_ch4[None, :])
+        assert props.rho[0] == pytest.approx(77.5, rel=0.05)
+        assert props.mu[0] > 0 and props.alpha[0] > 0
+        assert props.cp_mass[0] > 1500.0  # real CH4 cp ~ 2.2 kJ/kg/K at 10 MPa
+
+    def test_psi_compressibility_positive(self, rf, pure_o2):
+        psi = rf.psi_compressibility(np.array([150.0]), 10e6, pure_o2[None, :])
+        assert psi[0] > 0
+
+    def test_psi_near_ideal_hot(self, rf, pure_o2):
+        t = np.array([1500.0])
+        psi = rf.psi_compressibility(t, 1e6, pure_o2[None, :])
+        ig = 31.998e-3 / (R_UNIVERSAL * 1500.0)
+        assert psi[0] == pytest.approx(ig, rel=0.05)
