@@ -12,7 +12,7 @@ integration; the optimized code reaches ~1e-9 s/DoF/cycle while the
 
 import numpy as np
 
-from repro.chemistry import BDFIntegrator, Rosenbrock2, integrate_rk4
+from repro.chemistry import Rosenbrock2, integrate_rk4
 from repro.runtime import (
     FUGAKU,
     SUNWAY,

@@ -16,6 +16,19 @@ RESULTS_DIR = Path(__file__).parent / "results"
 RESULTS_DIR.mkdir(exist_ok=True)
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke", action="store_true", default=False,
+        help="shrink benchmark problem sizes for quick CI smoke runs",
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke(request) -> bool:
+    """True when the run was launched with ``--smoke``."""
+    return bool(request.config.getoption("--smoke"))
+
+
 def emit(title: str, lines: list[str]) -> None:
     """Print a result table and persist it under benchmarks/results/."""
     block = "\n".join([f"== {title} ==", *lines, ""])
@@ -35,7 +48,7 @@ def mech():
 def flame_manifold(mech):
     """The Fig.-10-style 1-D profile: mixing line with a hot reacting
     core, plus matched training data for the surrogate."""
-    from repro.chemistry import ConstantPressureReactor, mixture_line
+    from repro.chemistry import mixture_line
 
     n = 48
     pressure = 10e6

@@ -5,28 +5,100 @@ Builds the paper's TGV case (10 MPa LOX/CH4, O2 at 150 K / CH4 at
 the DeepFlame solver with direct Peng-Robinson real-fluid properties,
 and prints per-step diagnostics and the component time breakdown.
 
-Run:  python examples/quickstart.py
+The chemistry path is selectable -- every option routes through the
+batched backend subsystem (``repro.chemistry.backends``):
+
+  --chemistry none       frozen chemistry (default; fastest)
+  --chemistry percell    per-cell BDF reference loop
+  --chemistry direct     vectorized stiffness-graded batch integrator
+  --chemistry surrogate  ODENet inference (trained on the fly)
+  --chemistry hybrid     temperature-split DNN + direct
+
+Run:  python examples/quickstart.py [--chemistry direct] [--steps 5]
 """
 
-from repro.core import DeepFlameSolver, NoChemistry, build_tgv_case
+import argparse
+
+import numpy as np
+
+from repro.core import (
+    BatchedChemistry,
+    DeepFlameSolver,
+    DirectChemistry,
+    HybridChemistry,
+    NoChemistry,
+    ODENetChemistry,
+    build_tgv_case,
+)
+
+CHOICES = ("none", "percell", "direct", "surrogate", "hybrid")
+
+
+def _quick_odenet(mech, case, dt):
+    """Train a small ODENet on the case's own state manifold (labels
+    from the batched direct backend) -- a few seconds, demo quality."""
+    from repro.chemistry import DirectBatchBackend
+    from repro.dnn import ODENet
+
+    rng = np.random.default_rng(0)
+    idx = rng.choice(case.mesh.n_cells, size=min(96, case.mesh.n_cells),
+                     replace=False)
+    t0 = case.temperature[idx]
+    y0 = case.mass_fractions[idx]
+    p = float(case.pressure.values[0])
+    jt = t0 * (1 + rng.normal(0, 0.05, t0.shape))
+    jy = np.clip(y0 * (1 + rng.normal(0, 0.05, y0.shape)), 0, None)
+    jy /= jy.sum(axis=1, keepdims=True)
+    t_all = np.concatenate([t0, jt])
+    y_all = np.vstack([y0, jy])
+    y_adv, _, _ = DirectBatchBackend(mech).advance(y_all, t_all, p, dt)
+    net = ODENet(mech, hidden=(32, 32), seed=0)
+    net.fit(t_all, np.full(t_all.shape, p), y_all, y_adv - y_all, dt=dt,
+            epochs=120, lr=2e-3, batch_size=32)
+    return net
+
+
+def build_chemistry(name: str, mech, case, dt):
+    if name == "none":
+        return NoChemistry()
+    if name == "percell":
+        return DirectChemistry(mech)
+    if name == "direct":
+        return BatchedChemistry(mech)
+    print(f"Training a demo ODENet for the {name!r} backend ...")
+    net = _quick_odenet(mech, case, dt)
+    if name == "surrogate":
+        return ODENetChemistry(net)
+    # TGV cells start at 150-300 K: put the window over the cold
+    # manifold the net was just trained on so the split is visible.
+    return HybridChemistry(mech, net, t_window=(140.0, 250.0))
 
 
 def main() -> None:
-    print("Building the supercritical TGV case (16^3 cells, 10 MPa)...")
-    case = build_tgv_case(n=16)
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--chemistry", choices=CHOICES, default="none",
+                    help="chemistry backend (default: none)")
+    ap.add_argument("--steps", type=int, default=5)
+    ap.add_argument("--n", type=int, default=16, help="cells per side")
+    args = ap.parse_args()
+
+    print(f"Building the supercritical TGV case ({args.n}^3 cells, 10 MPa)...")
+    case = build_tgv_case(n=args.n)
     print(f"  mesh: {case.mesh.n_cells} cells, "
           f"{case.mesh.n_internal_faces} internal faces (triply periodic)")
     print(f"  T in [{case.temperature.min():.0f}, "
           f"{case.temperature.max():.0f}] K, p = "
           f"{case.pressure.values[0]/1e6:.0f} MPa")
 
-    solver = DeepFlameSolver(case, chemistry=NoChemistry())
+    dt = 1e-8  # the paper's 10 ns step
+    chemistry = build_chemistry(args.chemistry, case.mech, case, dt)
+    solver = DeepFlameSolver(case, chemistry=chemistry)
     print(f"  initial density range: [{solver.rho.min():.1f}, "
           f"{solver.rho.max():.1f}] kg/m^3 (real-fluid Peng-Robinson)")
 
-    dt = 1e-8  # the paper's 10 ns step
-    print(f"\nRunning 5 steps at dt = {dt:.0e} s ...")
-    for _ in range(5):
+    print(f"\nRunning {args.steps} steps at dt = {dt:.0e} s "
+          f"(chemistry: {args.chemistry}) ...")
+    for _ in range(args.steps):
         d = solver.step(dt)
         print(f"  step {d.step}: mass {d.total_mass:.6e} kg, "
               f"T [{d.t_min:.1f}, {d.t_max:.1f}] K, "
@@ -35,11 +107,24 @@ def main() -> None:
 
     tm = solver.last_timings
     total = tm.total
-    print("\nComponent breakdown of the last step (the Fig. 11 categories):")
-    for name, t in [("DNN/properties", tm.dnn),
-                    ("Construction", tm.construction),
-                    ("Solving", tm.solving), ("Other", tm.other)]:
-        print(f"  {name:15s} {t*1e3:8.2f} ms  ({t/total*100:4.1f} %)")
+    if total > 0:
+        print("\nComponent breakdown of the last step (the Fig. 11 "
+              "categories):")
+        for name, t in [("DNN/properties", tm.dnn),
+                        ("Construction", tm.construction),
+                        ("Solving", tm.solving), ("Other", tm.other)]:
+            print(f"  {name:15s} {t*1e3:8.2f} ms  ({t/total*100:4.1f} %)")
+
+    stats = getattr(solver.chemistry, "last_backend_stats", None)
+    if stats is not None:
+        print(f"\nChemistry backend '{stats.backend}': "
+              f"{stats.n_cells} cells at {stats.cells_per_second:.0f} "
+              f"cells/s, work imbalance {stats.load_imbalance:.2f}")
+        if stats.sub_batches:
+            print("  sub-batches: " + ", ".join(
+                f"{label}:{cells}" for label, cells, _ in stats.sub_batches))
+        for child, st in stats.per_backend.items():
+            print(f"  {child}: {st.n_cells} cells, work {st.total_work:.0f}")
 
 
 if __name__ == "__main__":

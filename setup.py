@@ -1,10 +1,5 @@
-from setuptools import setup, find_packages
+"""Thin shim for legacy tooling; all metadata lives in pyproject.toml."""
 
-setup(
-    name="repro",
-    version="1.0.0",
-    package_dir={"": "src"},
-    packages=find_packages(where="src"),
-    python_requires=">=3.10",
-    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
-)
+from setuptools import setup
+
+setup()

@@ -18,6 +18,19 @@ from .reactor import (
 )
 from .species import Nasa7Poly, Species, fit_nasa7
 
+# Imported after the leaf modules: the backends subpackage reaches into
+# repro.dnn, which itself imports chemistry submodules.
+from .backends import (  # noqa: E402
+    BACKEND_NAMES,
+    BackendStats,
+    ChemistryBackend,
+    DirectBatchBackend,
+    HybridBackend,
+    PerCellBDFBackend,
+    SurrogateBackend,
+    create_backend,
+)
+
 
 def load_mechanism(name: str = "lox_ch4_17sp") -> Mechanism:
     """Load a built-in mechanism by name."""
@@ -30,7 +43,15 @@ def load_mechanism(name: str = "lox_ch4_17sp") -> Mechanism:
 
 __all__ = [
     "Arrhenius",
+    "BACKEND_NAMES",
     "BDFIntegrator",
+    "BackendStats",
+    "ChemistryBackend",
+    "DirectBatchBackend",
+    "HybridBackend",
+    "PerCellBDFBackend",
+    "SurrogateBackend",
+    "create_backend",
     "ConstantPressureReactor",
     "KineticsEvaluator",
     "Mechanism",

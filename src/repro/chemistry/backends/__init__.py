@@ -1,0 +1,89 @@
+"""Pluggable batched chemistry backends.
+
+Every backend advances a *batch* of cells through one constant-
+pressure chemistry sub-step behind the uniform API
+
+    ``advance(Y, T, p, dt) -> (Y_new, T_new, stats)``
+
+so the flow solver, the benchmarks and future scaling layers
+(sharding, async dispatch) are decoupled from how chemistry is
+actually computed:
+
+* :class:`PerCellBDFBackend` — the CVODE-style per-cell reference,
+* :class:`DirectBatchBackend` — vectorized stiffness-graded RK4/ROS2
+  with a BDF fallback for ignition fronts,
+* :class:`SurrogateBackend` — batched ODENet inference,
+* :class:`HybridBackend` — temperature/stiffness-split DNN + ODE.
+
+Use :func:`create_backend` to build one by name.
+"""
+
+from __future__ import annotations
+
+from .base import BackendStats, ChemistryBackend
+from .direct import DirectBatchBackend
+from .hybrid import HybridBackend
+from .percell import PerCellBDFBackend
+from .surrogate import SurrogateBackend
+
+__all__ = [
+    "BackendStats",
+    "ChemistryBackend",
+    "DirectBatchBackend",
+    "HybridBackend",
+    "PerCellBDFBackend",
+    "SurrogateBackend",
+    "BACKEND_NAMES",
+    "create_backend",
+]
+
+#: canonical name -> accepted aliases
+_ALIASES = {
+    "percell": ("percell", "percell-bdf", "bdf", "reference"),
+    "direct": ("direct", "direct-batch", "batched"),
+    "surrogate": ("surrogate", "dnn", "odenet"),
+    "hybrid": ("hybrid",),
+}
+BACKEND_NAMES = tuple(_ALIASES)
+
+
+def _canonical(name: str) -> str:
+    low = name.lower()
+    for canon, aliases in _ALIASES.items():
+        if low in aliases:
+            return canon
+    raise KeyError(
+        f"unknown chemistry backend {name!r}; known: {sorted(BACKEND_NAMES)}")
+
+
+def create_backend(name: str, mech=None, odenet=None, engine=None, **kwargs):
+    """Build a chemistry backend by name.
+
+    ``mech`` is required for ``percell``/``direct``/``hybrid``;
+    ``odenet`` (a trained :class:`~repro.dnn.odenet.ODENet`) for
+    ``surrogate``/``hybrid``.  Remaining keyword arguments go to the
+    backend constructor (for ``hybrid``: ``t_window``, ``z_max`` plus
+    ``direct_kwargs`` forwarded to the embedded direct backend).
+    """
+    canon = _canonical(name)
+    if canon == "percell":
+        if mech is None:
+            raise ValueError("percell backend requires mech=")
+        return PerCellBDFBackend(mech, **kwargs)
+    if canon == "direct":
+        if mech is None:
+            raise ValueError("direct backend requires mech=")
+        return DirectBatchBackend(mech, **kwargs)
+    if canon == "surrogate":
+        if odenet is None:
+            raise ValueError("surrogate backend requires odenet=")
+        return SurrogateBackend(odenet, engine=engine, **kwargs)
+    # hybrid
+    if mech is None or odenet is None:
+        raise ValueError("hybrid backend requires mech= and odenet=")
+    direct_kwargs = kwargs.pop("direct_kwargs", {})
+    return HybridBackend(
+        SurrogateBackend(odenet, engine=engine),
+        DirectBatchBackend(mech, **direct_kwargs),
+        **kwargs,
+    )

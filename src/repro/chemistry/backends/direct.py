@@ -1,0 +1,266 @@
+"""Vectorized direct integration: thousands of cells per NumPy call.
+
+The per-cell BDF loop pays Python/solver overhead for *every* cell;
+this backend instead classifies each cell by a nondimensional
+stiffness indicator and integrates whole sub-batches at once:
+
+* **frozen** cells (chemically inactive mixing regions — the vast
+  majority of a real flame field) take a couple of classical RK4
+  steps, eight batched kinetics evaluations in total;
+* **active** cells take fixed-step L-stable Rosenbrock2 (ROS2) steps,
+  with the step count graded by stiffness class.  The stage systems
+  ``(I - gamma*h*J) k = rhs`` are solved for *all* cells of a
+  sub-batch with one batched LAPACK call;
+* the **stiffest** cells (ignition fronts) fall back to the per-cell
+  BDF reference so accuracy never degrades where it matters.
+
+Classification uses only each cell's own initial state, so a cell's
+trajectory is independent of what other cells share its batch — the
+batched result is bitwise-identical to advancing the cell alone.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..kinetics import KineticsEvaluator
+from ..mechanism import Mechanism
+from ..ode import Rosenbrock2
+from .base import BackendStats, ChemistryBackend
+from .percell import PerCellBDFBackend
+
+__all__ = ["DirectBatchBackend"]
+
+#: (upper stiffness bound, ROS2 step count) — graded sub-batches.
+#: The L-stable ROS2 scheme stays within ~0.5 K of the BDF reference
+#: even at z ~ 300 with 192 steps; BDF is reserved for the (rare)
+#: cells beyond that.
+_DEFAULT_ROS2_BINS: tuple[tuple[float, int], ...] = (
+    (1e-3, 6),
+    (1e-2, 12),
+    (1e-1, 24),
+    (1.0, 48),
+    (10.0, 96),
+    (500.0, 192),
+)
+
+
+class DirectBatchBackend(ChemistryBackend):
+    """Stiffness-graded batched RK4/ROS2 with a BDF fallback.
+
+    Parameters
+    ----------
+    mech:
+        Reaction mechanism.
+    rtol, atol:
+        Tolerances for the BDF fallback (and the accuracy target the
+        graded step counts were chosen against).
+    z_frozen:
+        Cells with stiffness indicator below this are advanced with
+        ``rk4_steps`` classical RK4 steps.
+    ros2_bins:
+        ``((z_max, n_steps), ...)`` graded ROS2 sub-batches; cells
+        beyond the last bound go to the per-cell BDF fallback.
+    jac_every:
+        Refresh period (in ROS2 steps) of the stage Jacobian; 1
+        recomputes every step.
+    validate:
+        When true (default), every batched sub-batch is re-integrated
+        at half the step count and cells where the two solutions
+        disagree beyond ``val_tol_t``/``val_tol_y`` are escalated to
+        the BDF fallback.  This is what catches cells whose ignition
+        runaway happens *inside* the interval and is invisible to the
+        initial-rate classifier.
+    """
+
+    name = "direct-batch"
+
+    def __init__(
+        self,
+        mech: Mechanism,
+        rtol: float = 1e-6,
+        atol: float = 1e-10,
+        t_floor: float = 200.0,
+        z_frozen: float = 1e-5,
+        rk4_steps: int = 2,
+        ros2_bins: tuple[tuple[float, int], ...] = _DEFAULT_ROS2_BINS,
+        jac_every: int = 4,
+        validate: bool = True,
+        val_tol_t: float = 0.5,
+        val_tol_y: float = 1e-3,
+    ):
+        self.mech = mech
+        self.kinetics = KineticsEvaluator(mech)
+        self.rtol, self.atol = rtol, atol
+        self.t_floor = t_floor
+        self.z_frozen = z_frozen
+        self.rk4_steps = int(rk4_steps)
+        self.ros2_bins = tuple(ros2_bins)
+        self.jac_every = max(1, int(jac_every))
+        self.validate = validate
+        self.val_tol_t = val_tol_t
+        self.val_tol_y = val_tol_y
+        self._fallback = PerCellBDFBackend(mech, rtol=rtol, atol=atol,
+                                           t_floor=t_floor)
+        self._rhs_evals = 0
+        self._jac_evals = 0
+        self._linear_solves = 0
+
+    # -- batched RHS / Jacobian ----------------------------------------
+    def _rhs(self, states: np.ndarray, p: np.ndarray) -> np.ndarray:
+        """Reactor RHS for packed states ``(k, 1+ns)`` in one call."""
+        self._rhs_evals += states.shape[0]
+        temp = np.maximum(states[:, 0], self.t_floor)
+        y = np.clip(states[:, 1:], 0.0, 1.0)
+        dtdt, dydt = self.kinetics.constant_pressure_rhs(temp, p, y)
+        return np.concatenate((dtdt[:, None], dydt), axis=1)
+
+    def _jac(self, states: np.ndarray, p: np.ndarray) -> np.ndarray:
+        """Finite-difference Jacobians ``(k, m, m)`` for every cell via
+        a single kinetics evaluation of ``k * (m+1)`` perturbed states."""
+        k, m = states.shape
+        self._jac_evals += k
+        eps = np.sqrt(np.finfo(float).eps)
+        dy = eps * np.maximum(np.abs(states), 1e-8)  # (k, m)
+        big = np.repeat(states[:, None, :], m + 1, axis=1)  # (k, m+1, m)
+        idx = np.arange(m)
+        big[:, 1 + idx, idx] += dy
+        f = self._rhs(big.reshape(k * (m + 1), m),
+                      np.repeat(p, m + 1)).reshape(k, m + 1, m)
+        # J[c, i, j] = (f_i(s + dy_j e_j) - f_i(s)) / dy_j
+        return (f[:, 1:, :] - f[:, :1, :]).transpose(0, 2, 1) / dy[:, None, :]
+
+    # -- batched integrators -------------------------------------------
+    def _rk4_batch(self, s, p, dt, n_steps):
+        h = dt / n_steps
+        for _ in range(n_steps):
+            k1 = self._rhs(s, p)
+            k2 = self._rhs(s + 0.5 * h * k1, p)
+            k3 = self._rhs(s + 0.5 * h * k2, p)
+            k4 = self._rhs(s + h * k3, p)
+            s = s + (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+        return s
+
+    def _ros2_batch(self, s, p, dt, n_steps):
+        gamma = Rosenbrock2.GAMMA
+        h = dt / n_steps
+        m = s.shape[1]
+        eye = np.eye(m)
+        a_inv = None
+        for step in range(n_steps):
+            f0 = self._rhs(s, p)
+            if step % self.jac_every == 0:
+                # Chemistry Jacobians vary smoothly; freezing J between
+                # refreshes (a W-method) keeps the L-stable stage
+                # matrix while amortizing its dominant cost.
+                jac = self._jac(s, p)
+                a_inv = np.linalg.inv(eye[None, :, :] - gamma * h * jac)
+            self._linear_solves += 2 * s.shape[0]
+            k1 = np.einsum("cij,cj->ci", a_inv, f0)
+            f1 = self._rhs(s + h * k1, p)
+            k2 = np.einsum("cij,cj->ci", a_inv, f1 - 2.0 * k1)
+            s = s + h * (1.5 * k1 + 0.5 * k2)
+        return s
+
+    # -- stiffness classification --------------------------------------
+    def stiffness_indicator(self, y, t, p, dt) -> np.ndarray:
+        """Per-cell nondimensional activity ``z``: the largest relative
+        state change the initial rates would produce over ``dt``.
+        Depends only on each cell's own state (batch-composition
+        independent)."""
+        y, t, p = self._as_batch(y, t, p)
+        s = np.concatenate((t[:, None], y), axis=1)
+        f = self._rhs(s, p)
+        z_t = np.abs(f[:, 0]) * dt / np.maximum(t, self.t_floor)
+        z_y = (np.abs(f[:, 1:]) * dt
+               / np.maximum(np.abs(y), 1e-3)).max(axis=1)
+        return np.maximum(z_t, z_y)
+
+    def _classify(self, z: np.ndarray) -> list[tuple[str, int, np.ndarray]]:
+        """Partition cells into ``(method, n_steps, cell_indices)``."""
+        groups: list[tuple[str, int, np.ndarray]] = []
+        assigned = np.zeros(z.shape[0], dtype=bool)
+        mask = z < self.z_frozen
+        if mask.any():
+            groups.append(("rk4", self.rk4_steps, np.flatnonzero(mask)))
+        assigned |= mask
+        for z_max, n_steps in self.ros2_bins:
+            mask = (~assigned) & (z < z_max)
+            if mask.any():
+                groups.append(("ros2", n_steps, np.flatnonzero(mask)))
+            assigned |= mask
+        rest = np.flatnonzero(~assigned)
+        if rest.size:
+            groups.append(("bdf", 0, rest))
+        return groups
+
+    # ------------------------------------------------------------------
+    def advance(self, y, t, p, dt):
+        y, t, p = self._as_batch(y, t, p)
+        n = t.shape[0]
+        self._rhs_evals = self._jac_evals = self._linear_solves = 0
+        t0 = time.perf_counter()
+
+        z = self.stiffness_indicator(y, t, p, dt)
+        groups = self._classify(z)
+
+        s = np.concatenate((t[:, None], y), axis=1)
+        s_new = s.copy()
+        work = np.zeros(n)
+        sub_batches: list[tuple[str, int, int]] = []
+        fallback_stats: BackendStats | None = None
+        bdf_cells: list[np.ndarray] = []
+        for method, n_steps, idx in groups:
+            if method == "bdf":
+                bdf_cells.append(idx)
+                continue
+            integ = self._rk4_batch if method == "rk4" else self._ros2_batch
+            full = integ(s[idx], p[idx], float(dt), n_steps)
+            cell_work = n_steps
+            if self.validate:
+                half = integ(s[idx], p[idx], float(dt), max(1, n_steps // 2))
+                bad = (~np.isfinite(full).all(axis=1)
+                       | ~np.isfinite(half).all(axis=1)
+                       | (np.abs(full[:, 0] - half[:, 0]) > self.val_tol_t)
+                       | (np.abs(full[:, 1:] - half[:, 1:]).max(axis=1)
+                          > self.val_tol_y))
+                if bad.any():
+                    bdf_cells.append(idx[bad])
+                    idx = idx[~bad]
+                    full = full[~bad]
+                cell_work = n_steps + max(1, n_steps // 2)
+            s_new[idx] = full
+            work[idx] = cell_work
+            sub_batches.append((f"{method}x{n_steps}", idx.size,
+                                cell_work * idx.size))
+        if bdf_cells:
+            idx = np.concatenate(bdf_cells)
+            yb, tb, fallback_stats = self._fallback.advance(
+                y[idx], t[idx], p[idx], dt)
+            s_new[idx, 0] = tb
+            s_new[idx, 1:] = yb
+            work[idx] = fallback_stats.work_per_cell
+            sub_batches.append(
+                ("bdf", idx.size, int(fallback_stats.work_per_cell.sum())))
+
+        t_new = np.maximum(s_new[:, 0], self.t_floor)
+        y_new = np.clip(s_new[:, 1:], 0.0, 1.0)
+        y_new /= y_new.sum(axis=1, keepdims=True)
+
+        stats = BackendStats(
+            backend=self.name, n_cells=n,
+            wall_time=time.perf_counter() - t0,
+            work_per_cell=work,
+            rhs_evals=self._rhs_evals,
+            jac_evals=self._jac_evals,
+            linear_solves=self._linear_solves,
+            sub_batches=sub_batches,
+        )
+        if fallback_stats is not None:
+            stats.rhs_evals += fallback_stats.rhs_evals
+            stats.jac_evals += fallback_stats.jac_evals
+            stats.linear_solves += fallback_stats.linear_solves
+            stats.per_backend["bdf-fallback"] = fallback_stats
+        return y_new, t_new, stats

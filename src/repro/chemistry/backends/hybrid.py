@@ -1,0 +1,97 @@
+"""Hybrid DNN + ODE chemistry (the paper's mixed mode).
+
+Each batch is split by a temperature-window criterion (optionally
+sharpened by the direct backend's stiffness indicator): cells inside
+the surrogate's trained manifold go through batched DNN inference,
+everything else through direct integration.  The returned stats carry
+a per-backend breakdown so the load-balance metrics in
+:mod:`repro.runtime` can price the split.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .base import BackendStats, ChemistryBackend
+from .direct import DirectBatchBackend
+from .surrogate import SurrogateBackend
+
+__all__ = ["HybridBackend"]
+
+
+class HybridBackend(ChemistryBackend):
+    """Temperature/stiffness-split surrogate + direct composite.
+
+    Parameters
+    ----------
+    surrogate, direct:
+        The two child backends.
+    t_window:
+        ``(t_lo, t_hi)``: cells with temperature inside the window are
+        surrogate-eligible (the trained-manifold proxy).
+    z_max:
+        Optional stiffness cutoff: when set, surrogate-eligible cells
+        whose stiffness indicator exceeds it are re-routed to the
+        direct backend (ignition fronts stay on exact integration).
+    """
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        surrogate: SurrogateBackend,
+        direct: DirectBatchBackend,
+        t_window: tuple[float, float] = (500.0, 3000.0),
+        z_max: float | None = None,
+    ):
+        self.surrogate = surrogate
+        self.direct = direct
+        self.t_window = (float(t_window[0]), float(t_window[1]))
+        self.z_max = z_max
+
+    # ------------------------------------------------------------------
+    def split_mask(self, y, t, p, dt) -> np.ndarray:
+        """Boolean mask of cells routed to the surrogate."""
+        y, t, p = self._as_batch(y, t, p)
+        t_lo, t_hi = self.t_window
+        mask = (t >= t_lo) & (t <= t_hi)
+        if self.z_max is not None and mask.any():
+            z = self.direct.stiffness_indicator(y, t, p, dt)
+            mask &= z <= self.z_max
+        return mask
+
+    def advance(self, y, t, p, dt):
+        y, t, p = self._as_batch(y, t, p)
+        n = t.shape[0]
+        t0 = time.perf_counter()
+        mask = self.split_mask(y, t, p, dt)
+        idx_s = np.flatnonzero(mask)
+        idx_d = np.flatnonzero(~mask)
+
+        y_new = y.copy()
+        t_new = t.copy()
+        work = np.zeros(n)
+        stats = BackendStats(backend=self.name, n_cells=n,
+                             work_per_cell=work)
+        if idx_s.size:
+            ys, ts, st = self.surrogate.advance(y[idx_s], t[idx_s],
+                                                p[idx_s], dt)
+            y_new[idx_s], t_new[idx_s] = ys, ts
+            work[idx_s] = st.work_per_cell
+            stats.per_backend["surrogate"] = st
+            stats.sub_batches.append(("surrogate", idx_s.size,
+                                      int(st.total_work)))
+        if idx_d.size:
+            yd, td, st = self.direct.advance(y[idx_d], t[idx_d], p[idx_d], dt)
+            y_new[idx_d], t_new[idx_d] = yd, td
+            work[idx_d] = st.work_per_cell
+            stats.rhs_evals += st.rhs_evals
+            stats.jac_evals += st.jac_evals
+            stats.linear_solves += st.linear_solves
+            stats.per_backend["direct"] = st
+            stats.sub_batches.append(("direct", idx_d.size,
+                                      int(st.total_work)))
+        stats.wall_time = time.perf_counter() - t0
+        return y_new, t_new, stats

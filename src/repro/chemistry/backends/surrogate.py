@@ -1,0 +1,62 @@
+"""Surrogate chemistry: batched ODENet inference as a backend.
+
+Routes whole batches through the framework-free inference stack
+(:mod:`repro.dnn.inference`) so the precision / tabulated-GeLU /
+batch-size fast paths all apply.  Work per cell is uniform by
+construction — the DNN's structural fix for chemistry load imbalance.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .base import BackendStats, ChemistryBackend
+
+if TYPE_CHECKING:  # import at type-check time only: repro.dnn imports
+    # chemistry submodules, so an eager import here would make package
+    # initialization order-dependent (repro.dnn first would crash).
+    from ...dnn.inference import InferenceEngine
+    from ...dnn.odenet import ODENet
+
+__all__ = ["SurrogateBackend"]
+
+
+class SurrogateBackend(ChemistryBackend):
+    """Batched ODENet inference (the paper's DNN chemistry path).
+
+    Parameters
+    ----------
+    odenet:
+        A trained :class:`~repro.dnn.odenet.ODENet`.
+    engine:
+        Optional :class:`~repro.dnn.inference.InferenceEngine`; pass
+        one built with ``precision="fp16"`` / ``gelu="table"`` to use
+        the optimized inference paths.  ``None`` runs the exact fp64
+        forward.
+    """
+
+    name = "surrogate"
+
+    def __init__(self, odenet: ODENet, engine: InferenceEngine | None = None):
+        if not odenet.trained:
+            raise ValueError("ODENet must be trained before use")
+        self.odenet = odenet
+        self.engine = engine
+
+    def advance(self, y, t, p, dt):
+        y, t, p = self._as_batch(y, t, p)
+        n = t.shape[0]
+        t0 = time.perf_counter()
+        y_new = self.odenet.advance(t, p, y, dt, engine=self.engine)
+        wall = time.perf_counter() - t0
+        stats = BackendStats(
+            backend=self.name, n_cells=n, wall_time=wall,
+            work_per_cell=np.ones(n),
+            sub_batches=[("dnn", n, n)],
+        )
+        # Temperature is re-derived from (h, p, Y) by the solver's
+        # property evaluation; the surrogate leaves it unchanged.
+        return y_new, t.copy(), stats

@@ -20,7 +20,7 @@ All integrators operate on a generic ``f(t, y)`` right-hand side.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np

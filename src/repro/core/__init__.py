@@ -4,8 +4,11 @@ properties, plus the TGV / rocket case builders."""
 
 from .cases import Case, build_rocket_case, build_tgv_case
 from .chemistry_source import (
+    BackendChemistry,
+    BatchedChemistry,
     ChemistryStats,
     DirectChemistry,
+    HybridChemistry,
     NoChemistry,
     ODENetChemistry,
 )
@@ -18,10 +21,13 @@ from .properties import (
 )
 
 __all__ = [
+    "BackendChemistry",
+    "BatchedChemistry",
     "Case",
     "ChemistryStats",
     "DeepFlameSolver",
     "DirectChemistry",
+    "HybridChemistry",
     "DirectRealFluidProperties",
     "IdealGasProperties",
     "NoChemistry",

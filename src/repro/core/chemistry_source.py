@@ -1,11 +1,12 @@
-"""Chemistry advancement paths: direct stiff integration vs. ODENet.
+"""Solver-facing chemistry adapters over the batched backend subsystem.
 
-Both advance the composition of every cell over one CFD step at
-constant pressure and enthalpy (operator splitting -- temperature is
-re-derived from (h, p, Y) afterwards).  The direct path integrates the
-detailed mechanism per cell with the BDF solver and *records per-cell
-work counters*, exposing the load imbalance that motivates ODENet; the
-ODENet path is one batched inference.
+All chemistry now flows through :mod:`repro.chemistry.backends`: the
+solver hands a whole mesh's worth of cells to a
+:class:`~repro.chemistry.backends.ChemistryBackend` in one call and
+gets back per-cell work statistics.  The classes here only adapt the
+backend batch API to the solver's historical calling convention
+``advance(T, p, Y, dt) -> (T_new, Y_new)`` and keep the
+:class:`ChemistryStats` record the diagnostics and benchmarks consume.
 """
 
 from __future__ import annotations
@@ -14,13 +15,27 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..chemistry.kinetics import KineticsEvaluator
+from ..chemistry.backends import (
+    BackendStats,
+    ChemistryBackend,
+    DirectBatchBackend,
+    HybridBackend,
+    PerCellBDFBackend,
+    SurrogateBackend,
+)
 from ..chemistry.mechanism import Mechanism
-from ..chemistry.ode import BDFIntegrator
 from ..dnn.inference import InferenceEngine
 from ..dnn.odenet import ODENet
 
-__all__ = ["ChemistryStats", "DirectChemistry", "ODENetChemistry", "NoChemistry"]
+__all__ = [
+    "ChemistryStats",
+    "BackendChemistry",
+    "DirectChemistry",
+    "BatchedChemistry",
+    "ODENetChemistry",
+    "HybridChemistry",
+    "NoChemistry",
+]
 
 
 @dataclass
@@ -39,98 +54,89 @@ class ChemistryStats:
         return float(self.steps_per_cell.max() / self.steps_per_cell.mean() - 1.0)
 
 
-class DirectChemistry:
+class BackendChemistry:
+    """Adapt any :class:`ChemistryBackend` to the solver interface.
+
+    Exposes the historical ``advance(T, p, Y, dt) -> (T_new, Y_new)``
+    call plus ``last_stats`` (:class:`ChemistryStats`) and
+    ``last_backend_stats`` (the full :class:`BackendStats`).
+    """
+
+    def __init__(self, backend: ChemistryBackend):
+        self.backend = backend
+        self.last_stats = ChemistryStats()
+        self.last_backend_stats: BackendStats | None = None
+
+    def advance(self, t, p, y, dt) -> tuple[np.ndarray, np.ndarray]:
+        """Advance every cell by ``dt``; returns ``(T_new, Y_new)``."""
+        y_new, t_new, stats = self.backend.advance(y, t, p, dt)
+        self.last_backend_stats = stats
+        self.last_stats = ChemistryStats(
+            stats.n_cells, stats.work_per_cell, stats.wall_time)
+        return t_new, y_new
+
+
+class DirectChemistry(BackendChemistry):
     """Per-cell stiff BDF integration (the CVODE-style baseline)."""
 
     def __init__(self, mech: Mechanism, rtol: float = 1e-6, atol: float = 1e-10,
                  t_floor: float = 200.0):
+        super().__init__(PerCellBDFBackend(mech, rtol=rtol, atol=atol,
+                                           t_floor=t_floor))
         self.mech = mech
-        self.kinetics = KineticsEvaluator(mech)
+        self.kinetics = self.backend.kinetics
         self.rtol, self.atol = rtol, atol
         self.t_floor = t_floor
-        self.last_stats = ChemistryStats()
 
     def _cell_rhs(self, pressure: float):
-        kin = self.kinetics
-
-        def rhs(_t, state):
-            temp = max(state[0], self.t_floor)
-            y = np.clip(state[1:], 0.0, 1.0)
-            dtdt, dydt = kin.constant_pressure_rhs(
-                np.array([temp]), np.array([pressure]), y[None, :])
-            return np.concatenate((dtdt, dydt[0]))
-
-        return rhs
+        """Per-cell reactor RHS closure (kept for the integrator-family
+        benchmarks that time single-cell solves)."""
+        return self.backend._cell_rhs(pressure)
 
     def _cell_jac(self, pressure: float):
-        kin = self.kinetics
-
-        def jac(_t, state):
-            n = state.size
-            eps = np.sqrt(np.finfo(float).eps)
-            dy = eps * np.maximum(np.abs(state), 1e-8)
-            batch = np.tile(state, (n + 1, 1))
-            batch[1:] += np.diag(dy)
-            temps = np.maximum(batch[:, 0], self.t_floor)
-            ys = np.clip(batch[:, 1:], 0.0, 1.0)
-            dtdt, dydt = kin.constant_pressure_rhs(
-                temps, np.full(n + 1, pressure), ys)
-            f = np.concatenate((dtdt[:, None], dydt), axis=1)
-            return (f[1:] - f[0]).T / dy
-
-        return jac
-
-    def advance(self, t, p, y, dt) -> tuple[np.ndarray, np.ndarray]:
-        """Advance every cell by ``dt``; returns ``(T_new, Y_new)``."""
-        import time as _time
-
-        t = np.atleast_1d(np.asarray(t, dtype=float))
-        y = np.atleast_2d(np.asarray(y, dtype=float))
-        p = np.broadcast_to(np.asarray(p, dtype=float), t.shape)
-        n = t.shape[0]
-        t_new = t.copy()
-        y_new = y.copy()
-        steps = np.zeros(n)
-        t0 = _time.perf_counter()
-        for c in range(n):
-            # Skip chemically frozen cells quickly (cold mixing regions
-            # integrate in one cheap step -- the imbalance the paper
-            # describes emerges naturally).
-            solver = BDFIntegrator(self._cell_rhs(float(p[c])),
-                                   jac=self._cell_jac(float(p[c])),
-                                   rtol=self.rtol, atol=self.atol)
-            state0 = np.concatenate(([t[c]], y[c]))
-            _, ys = solver.solve((0.0, float(dt)), state0)
-            steps[c] = solver.work.steps
-            t_new[c] = max(ys[-1, 0], self.t_floor)
-            yc = np.clip(ys[-1, 1:], 0.0, 1.0)
-            y_new[c] = yc / yc.sum()
-        self.last_stats = ChemistryStats(n, steps, _time.perf_counter() - t0)
-        return t_new, y_new
+        return self.backend._cell_jac(pressure)
 
 
-class ODENetChemistry:
-    """Batched ODENet inference (the paper's chemistry path)."""
+class BatchedChemistry(BackendChemistry):
+    """Vectorized stiffness-graded direct integration."""
+
+    def __init__(self, mech: Mechanism, **kwargs):
+        super().__init__(DirectBatchBackend(mech, **kwargs))
+        self.mech = mech
+
+
+class ODENetChemistry(BackendChemistry):
+    """Batched ODENet inference (the paper's chemistry path).
+
+    T is re-derived from (h, p, Y) by the solver; the backend returns
+    the input temperatures untouched.
+    """
 
     def __init__(self, odenet: ODENet, engine: InferenceEngine | None = None):
-        if not odenet.trained:
-            raise ValueError("ODENet must be trained before use")
+        super().__init__(SurrogateBackend(odenet, engine=engine))
         self.odenet = odenet
         self.engine = engine
-        self.last_stats = ChemistryStats()
 
-    def advance(self, t, p, y, dt) -> tuple[np.ndarray, np.ndarray]:
-        import time as _time
 
-        t = np.atleast_1d(np.asarray(t, dtype=float))
-        y = np.atleast_2d(np.asarray(y, dtype=float))
-        t0 = _time.perf_counter()
-        y_new = self.odenet.advance(t, p, y, dt, engine=self.engine)
-        wall = _time.perf_counter() - t0
-        # Perfectly uniform work per cell -- the DNN's structural fix
-        # for chemistry load imbalance.
-        self.last_stats = ChemistryStats(t.shape[0], np.ones(t.shape[0]), wall)
-        return t, y_new  # T re-derived from (h,p,Y) by the solver
+class HybridChemistry(BackendChemistry):
+    """Temperature/stiffness-split DNN + direct integration."""
+
+    def __init__(
+        self,
+        mech: Mechanism,
+        odenet: ODENet,
+        engine: InferenceEngine | None = None,
+        t_window: tuple[float, float] = (500.0, 3000.0),
+        z_max: float | None = None,
+        **direct_kwargs,
+    ):
+        super().__init__(HybridBackend(
+            SurrogateBackend(odenet, engine=engine),
+            DirectBatchBackend(mech, **direct_kwargs),
+            t_window=t_window, z_max=z_max,
+        ))
+        self.mech = mech
+        self.odenet = odenet
 
 
 class NoChemistry:
@@ -138,6 +144,7 @@ class NoChemistry:
 
     def __init__(self) -> None:
         self.last_stats = ChemistryStats()
+        self.last_backend_stats: BackendStats | None = None
 
     def advance(self, t, p, y, dt):
         t = np.atleast_1d(np.asarray(t, dtype=float))

@@ -24,9 +24,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..chemistry.backends import ChemistryBackend
 from ..fv.fields import SurfaceField, VolField
 from ..fv.operators import (
-    FVMatrix,
     fvc_grad,
     fvc_surface_integral,
     fvm_ddt,
@@ -36,7 +36,7 @@ from ..fv.operators import (
 )
 from ..solvers.controls import SolverControls
 from .cases import Case
-from .chemistry_source import NoChemistry
+from .chemistry_source import BackendChemistry, NoChemistry
 from .properties import DirectRealFluidProperties
 
 __all__ = ["StepTimings", "StepDiagnostics", "DeepFlameSolver"]
@@ -97,7 +97,12 @@ class DeepFlameSolver:
         self.mesh = case.mesh
         self.mech = case.mech
         self.properties = properties or DirectRealFluidProperties(case.mech)
-        self.chemistry = chemistry or NoChemistry()
+        chemistry = chemistry or NoChemistry()
+        # A raw batched backend is adapted on the fly: the solver
+        # consumes the uniform backend API either way.
+        if isinstance(chemistry, ChemistryBackend):
+            chemistry = BackendChemistry(chemistry)
+        self.chemistry = chemistry
         self.scalar_controls = scalar_controls
         self.pressure_controls = pressure_controls
         self.n_correctors = n_correctors

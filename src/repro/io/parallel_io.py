@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .foamfile import read_all_segments, read_collated_header
+from .foamfile import read_all_segments
 from .indexing import build_index, indexed_read
 
 __all__ = ["IOTiming", "master_read_scatter", "parallel_read",

@@ -8,6 +8,12 @@ from .comm import (
     allreduce_time,
     halo_exchange_time,
 )
+from .load_balance import (
+    chemistry_balance_report,
+    rank_imbalance,
+    work_imbalance,
+    workload_with_chemistry,
+)
 from .machine import FUGAKU, LS_PILOT, MACHINES, SUNWAY, MachineSpec
 from .perf_model import (
     CALIBRATION,
@@ -37,8 +43,12 @@ __all__ = [
     "SimulatedComm",
     "WorkloadSpec",
     "allreduce_time",
+    "chemistry_balance_report",
     "halo_exchange_time",
+    "rank_imbalance",
     "strong_scaling",
     "tgv_workload",
     "weak_scaling",
+    "work_imbalance",
+    "workload_with_chemistry",
 ]

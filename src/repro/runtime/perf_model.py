@@ -27,7 +27,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-import numpy as np
 
 from .comm import allreduce_time, halo_exchange_time
 from .machine import MachineSpec

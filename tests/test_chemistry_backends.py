@@ -1,0 +1,283 @@
+"""The batched chemistry-backend subsystem: API contract, batched
+vs. per-cell agreement, hybrid split correctness and work accounting."""
+
+import numpy as np
+import pytest
+
+from repro.chemistry import (
+    BACKEND_NAMES,
+    DirectBatchBackend,
+    HybridBackend,
+    PerCellBDFBackend,
+    SurrogateBackend,
+    create_backend,
+    mixture_line,
+)
+from repro.runtime import (
+    chemistry_balance_report,
+    rank_imbalance,
+    work_imbalance,
+    workload_with_chemistry,
+)
+
+PRESSURE = 10e6
+
+
+@pytest.fixture(scope="module")
+def quick_odenet(mech):
+    """A structurally valid (not accuracy-tuned) trained ODENet for
+    routing/accounting tests -- trains in well under a second."""
+    from repro.dnn import ODENet
+
+    rng = np.random.default_rng(0)
+    t = np.linspace(800.0, 2500.0, 12)
+    y = rng.random((12, mech.n_species))
+    y /= y.sum(axis=1, keepdims=True)
+    dy = rng.normal(0.0, 1e-4, y.shape)
+    net = ODENet(mech, hidden=(8, 8), seed=0)
+    net.fit(t, np.full(12, PRESSURE), y, dy, dt=1e-7, epochs=2, lr=1e-3)
+    return net
+
+
+@pytest.fixture(scope="module")
+def lox_ch4_batch(mech):
+    """A 17-species LOX/CH4 batch spanning frozen, mild and reacting
+    cells (mixing line plus a hot near-stoichiometric core)."""
+    n = 12
+    t, y = mixture_line(mech, n, PRESSURE)
+    x = np.linspace(0.0, 1.0, n)
+    t = t + 1400.0 * np.exp(-(((x - 0.5) / 0.2) ** 2))
+    return t, y
+
+
+class TestDirectBatch:
+    def test_batch_composition_invariance(self, mech, lox_ch4_batch):
+        """Advancing a cell inside a batch gives the same answer as
+        advancing it alone: classification uses only per-cell state, so
+        results agree to BLAS last-bit reproducibility."""
+        t, y = lox_ch4_batch
+        db = DirectBatchBackend(mech)
+        dt = 1e-7
+        y_b, t_b, _ = db.advance(y, t, PRESSURE, dt)
+        for c in range(t.size):
+            y_1, t_1, _ = db.advance(y[c:c + 1], t[c:c + 1], PRESSURE, dt)
+            np.testing.assert_allclose(t_1[0], t_b[c], rtol=1e-10, atol=1e-7)
+            np.testing.assert_allclose(y_1[0], y_b[c], rtol=0, atol=1e-10)
+
+    def test_split_batch_matches_full_batch(self, mech, lox_ch4_batch):
+        t, y = lox_ch4_batch
+        db = DirectBatchBackend(mech)
+        dt = 1e-7
+        y_b, t_b, _ = db.advance(y, t, PRESSURE, dt)
+        k = t.size // 2
+        y_1, t_1, _ = db.advance(y[:k], t[:k], PRESSURE, dt)
+        y_2, t_2, _ = db.advance(y[k:], t[k:], PRESSURE, dt)
+        np.testing.assert_allclose(
+            np.concatenate((t_1, t_2)), t_b, rtol=1e-10, atol=1e-7)
+        np.testing.assert_allclose(
+            np.vstack((y_1, y_2)), y_b, rtol=0, atol=1e-10)
+
+    def test_agrees_with_percell_reference(self, mech, lox_ch4_batch):
+        """Within integrator tolerance of the per-cell BDF loop."""
+        t, y = lox_ch4_batch
+        dt = 1e-7
+        y_b, t_b, _ = DirectBatchBackend(mech).advance(y, t, PRESSURE, dt)
+        y_p, t_p, _ = PerCellBDFBackend(mech).advance(y, t, PRESSURE, dt)
+        np.testing.assert_allclose(t_b, t_p, atol=0.5)
+        np.testing.assert_allclose(y_b, y_p, atol=5e-4)
+
+    def test_simplex_preserved(self, mech, lox_ch4_batch):
+        t, y = lox_ch4_batch
+        y_b, t_b, _ = DirectBatchBackend(mech).advance(y, t, PRESSURE, 1e-7)
+        np.testing.assert_allclose(y_b.sum(axis=1), 1.0, atol=1e-12)
+        assert y_b.min() >= 0.0
+        assert np.all(t_b >= 200.0)
+
+    def test_work_counters_and_sub_batches(self, mech, lox_ch4_batch):
+        t, y = lox_ch4_batch
+        db = DirectBatchBackend(mech)
+        _, _, st = db.advance(y, t, PRESSURE, 1e-7)
+        assert st.backend == "direct-batch"
+        assert st.n_cells == t.size
+        assert st.work_per_cell.shape == (t.size,)
+        assert np.all(st.work_per_cell > 0)
+        assert st.rhs_evals > 0
+        assert sum(cells for _, cells, _ in st.sub_batches) == t.size
+        # hot core works harder than frozen mixing cells
+        assert st.load_imbalance > 0.0
+
+    def test_frozen_batch_is_all_rk4(self, mech):
+        t, y = mixture_line(mech, 6, PRESSURE)  # 150-300 K: inert
+        db = DirectBatchBackend(mech)
+        _, _, st = db.advance(y, t, PRESSURE, 1e-7)
+        labels = {label for label, cells, _ in st.sub_batches if cells}
+        assert labels == {f"rk4x{db.rk4_steps}"}
+
+    @pytest.mark.slow
+    def test_mid_interval_ignition_escalates_to_bdf(self, mech):
+        """A cell whose runaway happens inside the step is invisible to
+        the initial-rate classifier; validation must escalate it."""
+        y = np.zeros((2, mech.n_species))
+        y[:, mech.species_index["CH4"]] = 0.2
+        y[:, mech.species_index["O2"]] = 0.8
+        t = np.array([300.0, 1500.0])
+        dt = 2e-5
+        db = DirectBatchBackend(mech)
+        y_b, t_b, st = db.advance(y, t, PRESSURE, dt)
+        y_p, t_p, _ = PerCellBDFBackend(mech).advance(y, t, PRESSURE, dt)
+        # the igniting cell lands on the BDF fallback and matches it
+        bdf = dict((label, cells) for label, cells, _ in st.sub_batches)
+        assert bdf.get("bdf", 0) >= 1
+        assert t_b[1] > 3000.0
+        np.testing.assert_allclose(t_b, t_p, atol=1e-6)
+        np.testing.assert_allclose(y_b, y_p, atol=1e-9)
+
+
+class TestSurrogateBackend:
+    def test_untrained_rejected(self, mech):
+        from repro.dnn import ODENet
+
+        with pytest.raises(ValueError):
+            SurrogateBackend(ODENet(mech))
+
+    def test_uniform_work_and_simplex(self, mech, quick_odenet):
+        t = np.linspace(900.0, 2400.0, 7)
+        rng = np.random.default_rng(1)
+        y = rng.random((7, mech.n_species))
+        y /= y.sum(axis=1, keepdims=True)
+        sb = SurrogateBackend(quick_odenet)
+        y_new, t_new, st = sb.advance(y, t, PRESSURE, 1e-7)
+        assert st.load_imbalance == 0.0
+        np.testing.assert_array_equal(st.work_per_cell, np.ones(7))
+        np.testing.assert_array_equal(t_new, t)  # T re-derived by solver
+        np.testing.assert_allclose(y_new.sum(axis=1), 1.0, atol=1e-12)
+        assert y_new.min() >= 0.0
+
+
+class TestHybridBackend:
+    def _hybrid(self, mech, quick_odenet, **kw):
+        return HybridBackend(SurrogateBackend(quick_odenet),
+                             DirectBatchBackend(mech), **kw)
+
+    def test_split_mask_follows_temperature_window(self, mech, quick_odenet):
+        hb = self._hybrid(mech, quick_odenet, t_window=(1000.0, 3000.0))
+        t = np.array([300.0, 1500.0, 2500.0, 3500.0])
+        y = np.tile(np.full(mech.n_species, 1.0 / mech.n_species), (4, 1))
+        mask = hb.split_mask(y, t, PRESSURE, 1e-7)
+        np.testing.assert_array_equal(mask, [False, True, True, False])
+
+    def test_routing_matches_children(self, mech, quick_odenet):
+        """Hybrid output equals each child's output on its own cells."""
+        hb = self._hybrid(mech, quick_odenet, t_window=(1000.0, 3000.0))
+        t, y = mixture_line(mech, 8, PRESSURE)
+        t = t + np.linspace(0.0, 2500.0, 8)  # spans both sides of the window
+        dt = 1e-7
+        mask = hb.split_mask(y, t, PRESSURE, dt)
+        assert mask.any() and (~mask).any()
+        y_h, t_h, st = hb.advance(y, t, PRESSURE, dt)
+        y_s, t_s, _ = hb.surrogate.advance(y[mask], t[mask], PRESSURE, dt)
+        y_d, t_d, _ = hb.direct.advance(y[~mask], t[~mask], PRESSURE, dt)
+        np.testing.assert_allclose(y_h[mask], y_s, rtol=0, atol=1e-12)
+        np.testing.assert_allclose(y_h[~mask], y_d, rtol=0, atol=1e-10)
+        np.testing.assert_allclose(t_h[~mask], t_d, rtol=1e-12)
+
+    def test_work_counter_accounting(self, mech, quick_odenet):
+        hb = self._hybrid(mech, quick_odenet, t_window=(1000.0, 3000.0))
+        t, y = mixture_line(mech, 8, PRESSURE)
+        t = t + np.linspace(0.0, 2500.0, 8)
+        y_h, t_h, st = hb.advance(y, t, PRESSURE, 1e-7)
+        mask = hb.split_mask(y, t, PRESSURE, 1e-7)
+        assert set(st.per_backend) == {"surrogate", "direct"}
+        assert st.per_backend["surrogate"].n_cells == int(mask.sum())
+        assert st.per_backend["direct"].n_cells == int((~mask).sum())
+        # surrogate cells cost 1 unit, direct cells their step counts
+        np.testing.assert_array_equal(st.work_per_cell[mask], 1.0)
+        assert np.all(st.work_per_cell[~mask] >= 1.0)
+        assert st.total_work == pytest.approx(
+            st.per_backend["surrogate"].total_work
+            + st.per_backend["direct"].total_work)
+
+    def test_stiffness_override_routes_to_direct(self, mech, quick_odenet):
+        """With z_max, a hot in-window reacting cell is re-routed."""
+        hb = self._hybrid(mech, quick_odenet, t_window=(200.0, 5000.0),
+                          z_max=1e-9)
+        y = np.zeros((1, mech.n_species))
+        y[0, mech.species_index["CH4"]] = 0.2
+        y[0, mech.species_index["O2"]] = 0.8
+        mask = hb.split_mask(y, np.array([2000.0]), PRESSURE, 1e-6)
+        assert not mask[0]
+
+
+class TestRegistryAndSolver:
+    def test_create_backend_names(self, mech, quick_odenet):
+        assert set(BACKEND_NAMES) == {"percell", "direct", "surrogate",
+                                      "hybrid"}
+        assert isinstance(create_backend("percell", mech=mech),
+                          PerCellBDFBackend)
+        assert isinstance(create_backend("direct-batch", mech=mech),
+                          DirectBatchBackend)
+        assert isinstance(create_backend("odenet", odenet=quick_odenet),
+                          SurrogateBackend)
+        hb = create_backend("hybrid", mech=mech, odenet=quick_odenet,
+                            t_window=(800.0, 2800.0))
+        assert isinstance(hb, HybridBackend)
+        assert hb.t_window == (800.0, 2800.0)
+
+    def test_create_backend_errors(self, mech):
+        with pytest.raises(KeyError):
+            create_backend("nope", mech=mech)
+        with pytest.raises(ValueError):
+            create_backend("direct")
+        with pytest.raises(ValueError):
+            create_backend("hybrid", mech=mech)
+
+    def test_solver_accepts_raw_backend(self, mech):
+        """DeepFlameSolver wraps a bare ChemistryBackend on the fly."""
+        from repro.core import DeepFlameSolver, IdealGasProperties, \
+            build_tgv_case
+        from repro.solvers import SolverControls
+
+        case = build_tgv_case(n=6, mech=mech)
+        s = DeepFlameSolver(
+            case, properties=IdealGasProperties(mech),
+            chemistry=DirectBatchBackend(mech),
+            scalar_controls=SolverControls(tolerance=1e-10, rel_tol=1e-5,
+                                           max_iterations=400))
+        d = s.step(1e-8)
+        assert np.isfinite(d.total_mass)
+        st = s.chemistry.last_backend_stats
+        assert st is not None and st.n_cells == case.mesh.n_cells
+        assert s.chemistry.last_stats.steps_per_cell.shape == (216,)
+
+
+class TestLoadBalanceMetrics:
+    def test_work_imbalance(self):
+        assert work_imbalance(np.ones(8)) == 0.0
+        assert work_imbalance(np.array([1.0, 1.0, 4.0])) == pytest.approx(1.0)
+        assert work_imbalance(np.zeros(3)) == 0.0
+        assert work_imbalance(np.zeros(0)) == 0.0
+
+    def test_rank_imbalance_blocks(self):
+        # all heavy cells land on rank 1 of 2 under a block deal
+        w = np.array([1.0, 1.0, 1.0, 1.0, 9.0, 9.0, 9.0, 9.0])
+        assert rank_imbalance(w, 2) == pytest.approx(36.0 / 20.0 - 1.0)
+        # an owner map that interleaves them balances the work
+        owner = np.array([0, 1, 0, 1, 0, 1, 0, 1])
+        assert rank_imbalance(w, 2, owner=owner) == 0.0
+
+    def test_balance_report_and_workload(self, mech, quick_odenet):
+        hb = HybridBackend(SurrogateBackend(quick_odenet),
+                           DirectBatchBackend(mech),
+                           t_window=(1000.0, 3000.0))
+        t, y = mixture_line(mech, 8, PRESSURE)
+        t = t + np.linspace(0.0, 2500.0, 8)
+        _, _, st = hb.advance(y, t, PRESSURE, 1e-7)
+        report = chemistry_balance_report(st)
+        assert report["n_cells"] == 8
+        shares = [b["work_share"] for b in report["per_backend"].values()]
+        assert sum(shares) == pytest.approx(1.0)
+
+        from repro.runtime import tgv_workload
+
+        wl = workload_with_chemistry(tgv_workload(n_cells=1000.0), st)
+        assert wl.load_imbalance == pytest.approx(st.load_imbalance)

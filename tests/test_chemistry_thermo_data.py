@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.chemistry import Arrhenius, fit_nasa7, load_mechanism
+from repro.chemistry import Arrhenius, fit_nasa7
 from repro.chemistry.rates import TroeParams
 from repro.constants import R_UNIVERSAL, T_REF
 

@@ -79,6 +79,7 @@ class TestPropertyPaths:
         rho_ig = 1e6 * 16.043e-3 / (R_UNIVERSAL * 500.0)
         assert props.rho[0] == pytest.approx(rho_ig, rel=1e-3)
 
+    @pytest.mark.slow
     def test_prnet_path_runs(self, tiny_prnet, mech):
         pp = PRNetProperties(tiny_prnet)
         y = np.zeros((2, 17))
@@ -113,6 +114,7 @@ class TestChemistryPaths:
         assert steps[3] > 5 * steps[0]
         assert chem.last_stats.load_imbalance > 1.0
 
+    @pytest.mark.slow
     def test_odenet_chemistry_uniform_work(self, tiny_odenet):
         chem = ODENetChemistry(tiny_odenet)
         xs = tiny_odenet._train_x
@@ -174,6 +176,7 @@ class TestDeepFlameSolver:
         assert wl["pde_flops_per_cell"] > 100
         assert wl["n_cells"] == 512
 
+    @pytest.mark.slow
     def test_odenet_coupled_run(self, mech, tiny_odenet):
         """The full surrogate-coupled solver holds physical bounds."""
         case = build_tgv_case(n=6, mech=mech)

@@ -47,6 +47,7 @@ class TestLayers:
         net = MLP((10, 20, 5))
         assert net.flops_per_sample() == 2 * (10 * 20 + 20 * 5)
 
+    @pytest.mark.slow
     def test_paper_odenet_flops(self, mech):
         """The paper ODENet should count ~38.9 MF/sample."""
         net = ODENet.paper_architecture(mech).net
@@ -232,6 +233,7 @@ class TestODENet:
         net = ODENet.paper_architecture(mech)
         assert net.net.sizes == (20, 2048, 4096, 2048, 1024, 512, 17)
 
+    @pytest.mark.slow
     def test_training_fits_reactor_data(self, tiny_odenet):
         xs, ys = tiny_odenet._train_x, tiny_odenet._train_y
         pred = tiny_odenet.predict_delta_y(xs[:, 0], xs[:, 1], xs[:, 2:], 1e-7)
@@ -240,12 +242,14 @@ class TestODENet:
         ss_tot = ((ys - ys.mean(axis=0)) ** 2).sum()
         assert 1 - ss_res / ss_tot > 0.8
 
+    @pytest.mark.slow
     def test_advance_preserves_simplex(self, tiny_odenet, mech):
         xs = tiny_odenet._train_x
         y_new = tiny_odenet.advance(xs[:5, 0], xs[:5, 1], xs[:5, 2:], 1e-7)
         np.testing.assert_allclose(y_new.sum(axis=1), 1.0, rtol=1e-12)
         assert y_new.min() >= 0.0
 
+    @pytest.mark.slow
     def test_engine_path_consistent(self, tiny_odenet):
         xs = tiny_odenet._train_x
         ref = tiny_odenet.predict_delta_y(xs[:8, 0], xs[:8, 1], xs[:8, 2:], 1e-7)
@@ -262,6 +266,7 @@ class TestPRNet:
         assert net.density_net.sizes == (3, 1024, 512, 256, 1)
         assert net.transport_net.sizes == (3, 2048, 1024, 512, 4)
 
+    @pytest.mark.slow
     def test_density_accuracy_on_manifold(self, tiny_prnet, mech):
         from repro.dnn.prnet import sample_property_manifold
 
@@ -274,6 +279,7 @@ class TestPRNet:
         rel = np.abs(rho_pred - rho_t[:, 0]) / rho_t[:, 0]
         assert np.median(rel) < 0.25
 
+    @pytest.mark.slow
     def test_temperature_prediction_reasonable(self, tiny_prnet, mech):
         rf = tiny_prnet._rf
         y = np.zeros((1, 17))

@@ -181,6 +181,7 @@ class TestExplicitIntegrators:
 
 
 class TestReactor:
+    @pytest.mark.slow
     def test_ignition_at_high_pressure(self, mech):
         reactor = ConstantPressureReactor(mech, rtol=1e-6, atol=1e-10)
         st = premixed_state(mech, 1400.0, 10e6)
@@ -189,12 +190,14 @@ class TestReactor:
         assert temps.max() < 4500.0  # physically bounded
         np.testing.assert_allclose(ys.sum(axis=1), 1.0, atol=1e-9)
 
+    @pytest.mark.slow
     def test_ignition_delay_decreases_with_temperature(self, mech):
         reactor = ConstantPressureReactor(mech, rtol=1e-6, atol=1e-10)
         tau_hot = reactor.ignition_delay(premixed_state(mech, 1700.0, 10e6), 1e-3)
         tau_cold = reactor.ignition_delay(premixed_state(mech, 1300.0, 10e6), 1e-2)
         assert tau_hot < tau_cold
 
+    @pytest.mark.slow
     def test_products_formed(self, mech):
         reactor = ConstantPressureReactor(mech, rtol=1e-6, atol=1e-10)
         st = premixed_state(mech, 1500.0, 10e6)
@@ -203,6 +206,7 @@ class TestReactor:
         assert ys[-1, idx["H2O"]] > 0.05
         assert ys[-1, idx["CH4"]] < st.mass_fractions[idx["CH4"]] * 0.2
 
+    @pytest.mark.slow
     def test_work_counters_recorded(self, mech):
         reactor = ConstantPressureReactor(mech, rtol=1e-6, atol=1e-10)
         reactor.advance(premixed_state(mech, 1500.0, 10e6), 1e-5)
@@ -215,6 +219,7 @@ class TestReactor:
         assert y[-1, mech.species_index["CH4"]] == 1.0
         assert t[0] == 150.0 and t[-1] == 300.0
 
+    @pytest.mark.slow
     def test_training_pairs_shapes(self, mech):
         reactor = ConstantPressureReactor(mech, rtol=1e-6, atol=1e-9)
         st = premixed_state(mech, 1500.0, 10e6)
