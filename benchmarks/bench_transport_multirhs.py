@@ -1,0 +1,140 @@
+"""Multi-RHS transport: coupled (blocked) vs per-species assemble+solve.
+
+The paper's Fig. 11 decomposition singles out Construction + Solving as
+the dominant PDE components of a step.  Both scale with the number of
+transported scalars when every species equation is assembled and solved
+on its own, even though all n_species systems share one left-hand side
+(``ddt + div - laplacian`` with identical coefficients).  This bench
+times the two paths of ``DeepFlameSolver`` on the same state:
+
+* ``per-species`` — n_species sequential FVMatrix assemblies +
+  PBiCGStab solves (the validation reference),
+* ``coupled``     — one ``CoupledTransportEquation`` assembly + one
+  blocked PBiCGStab solve over the ``(n_cells, n_species)`` block.
+
+Gates: the coupled path must be >= 3x faster (construction + solve) on
+the >= 5k-cell case and reproduce the per-species mass fractions to
+<= 1e-8.  The momentum predictor (3 components, same refactor) is
+reported as a second table.
+
+Run:  pytest benchmarks/bench_transport_multirhs.py   (add --smoke for
+the shrunken CI version)
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import DeepFlameSolver, NoChemistry, build_tgv_case
+from repro.core.deepflame import StepTimings
+from repro.solvers import SolverControls
+
+from .conftest import emit
+
+DT = 1e-8
+#: tight controls so both paths converge to well below the 1e-8
+#: field-agreement gate
+CONTROLS = SolverControls(tolerance=1e-12, rel_tol=0.0, max_iterations=500)
+
+
+@pytest.fixture(scope="module")
+def solver(mech, smoke):
+    """A warmed-up TGV solver (5832 cells full / 512 cells smoke)."""
+    n = 8 if smoke else 18
+    case = build_tgv_case(n=n, mech=mech)
+    s = DeepFlameSolver(case, chemistry=NoChemistry(),
+                        scalar_controls=CONTROLS)
+    s.step(DT)  # settle fields, warm the kernels
+    return s
+
+
+def _time_stage(s, fn, args, reps, reset):
+    """Best-of-reps wall time of one transport stage (state reset
+    between reps); returns (timings, wall)."""
+    best, best_tm = np.inf, None
+    for _ in range(reps):
+        reset()
+        tm = StepTimings()
+        t0 = time.perf_counter()
+        fn(DT, *args, tm)
+        wall = time.perf_counter() - t0
+        if wall < best:
+            best, best_tm = wall, tm
+    return best_tm, best
+
+
+def test_coupled_species_transport_speedup(solver, smoke):
+    s = solver
+    rho_old = s.rho.copy()
+    d_eff = s.props.alpha
+    y0 = s.y.copy()
+    reps = 3 if smoke else 5
+
+    def reset():
+        s.y = y0.copy()
+
+    tm_c, wall_c = _time_stage(
+        s, s._species_transport_coupled, (rho_old, d_eff), reps, reset)
+    y_coupled = s.y.copy()
+    tm_p, wall_p = _time_stage(
+        s, s._species_transport_sequential, (rho_old, d_eff), reps, reset)
+    y_seq = s.y.copy()
+    s.y = y0  # leave the shared fixture untouched
+
+    d_y = np.abs(y_coupled - y_seq).max()
+    speedup = (tm_p.construction + tm_p.solving) / (
+        tm_c.construction + tm_c.solving)
+    lines = [
+        f"{s.mesh.n_cells} cells, {s.mech.n_species} species, dt = {DT:.0e} s",
+        "path          construction [ms]  solving [ms]  total [ms]",
+        f"  per-species {tm_p.construction*1e3:15.2f} {tm_p.solving*1e3:13.2f}"
+        f" {wall_p*1e3:11.2f}",
+        f"  coupled     {tm_c.construction*1e3:15.2f} {tm_c.solving*1e3:13.2f}"
+        f" {wall_c*1e3:11.2f}",
+        f"speedup (construction+solve): {speedup:.1f}x"
+        f"   field agreement: |dY| {d_y:.3g}",
+    ]
+    emit("Multi-RHS species transport: coupled vs per-species", lines)
+
+    assert d_y <= 1e-8
+    # fixed per-solve overheads weigh more at smoke size
+    assert speedup >= (1.2 if smoke else 3.0)
+
+
+def test_coupled_momentum_predictor(solver, smoke):
+    """The same refactor applied to the 3 momentum components."""
+    s = solver
+    rho_old = s.rho.copy()
+    u0 = s.u.values.copy()
+    from repro.fv import fvc_grad
+
+    grad_p = fvc_grad(s.p)
+    reps = 3 if smoke else 5
+
+    def reset():
+        s.u.values[:] = u0
+
+    tm_c, _ = _time_stage(
+        s, s._momentum_predictor_coupled, (rho_old, grad_p), reps, reset)
+    u_coupled = s.u.values.copy()
+    tm_p, _ = _time_stage(
+        s, s._momentum_predictor_sequential, (rho_old, grad_p), reps, reset)
+    u_seq = s.u.values.copy()
+    s.u.values[:] = u0
+
+    d_u = np.abs(u_coupled - u_seq).max()
+    speedup = (tm_p.construction + tm_p.solving) / (
+        tm_c.construction + tm_c.solving)
+    lines = [
+        f"{s.mesh.n_cells} cells, 3 momentum components",
+        f"per-species {1e3*(tm_p.construction+tm_p.solving):7.2f} ms   "
+        f"coupled {1e3*(tm_c.construction+tm_c.solving):7.2f} ms   "
+        f"speedup {speedup:.1f}x   |dU| {d_u:.3g}",
+    ]
+    emit("Multi-RHS momentum predictor: coupled vs per-component", lines)
+
+    assert d_u <= 1e-8
+    # only k=3 systems to amortize over: require rough parity (the
+    # headline gate is the species block above)
+    assert speedup >= 0.7

@@ -14,6 +14,16 @@ batched backend subsystem (``repro.chemistry.backends``):
   --chemistry surrogate  ODENet inference (trained on the fly)
   --chemistry hybrid     temperature-split DNN + direct
 
+The transport path is selectable too:
+
+  --transport coupled      one shared-operator assembly + one blocked
+                           multi-RHS Krylov solve for all species (and
+                           for the 3 momentum components); default
+  --transport per-species  the sequential assemble+solve reference
+
+Either way the run ends with the measured per-step transport speedup
+of coupled over per-species on this case.
+
 Run:  python examples/quickstart.py [--chemistry direct] [--steps 5]
 """
 
@@ -32,6 +42,23 @@ from repro.core import (
 )
 
 CHOICES = ("none", "percell", "direct", "surrogate", "hybrid")
+TRANSPORT_CHOICES = ("coupled", "per-species")
+
+
+def measure_transport_speedup(case_builder, dt: float, steps: int = 2):
+    """Per-step (construction + solving) wall time of each transport
+    mode on fresh solvers over identical frozen-chemistry steps."""
+    per_step = {}
+    for mode in TRANSPORT_CHOICES:
+        solver = DeepFlameSolver(case_builder(), chemistry=NoChemistry(),
+                                 transport=mode)
+        total = 0.0
+        for _ in range(steps):
+            solver.step(dt)
+            tm = solver.last_timings
+            total += tm.construction + tm.solving
+        per_step[mode] = total / steps
+    return per_step
 
 
 def _quick_odenet(mech, case, dt):
@@ -78,6 +105,10 @@ def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     ap.add_argument("--chemistry", choices=CHOICES, default="none",
                     help="chemistry backend (default: none)")
+    ap.add_argument("--transport", choices=TRANSPORT_CHOICES,
+                    default="coupled",
+                    help="species/momentum transport path "
+                         "(default: coupled)")
     ap.add_argument("--steps", type=int, default=5)
     ap.add_argument("--n", type=int, default=16, help="cells per side")
     args = ap.parse_args()
@@ -92,12 +123,13 @@ def main() -> None:
 
     dt = 1e-8  # the paper's 10 ns step
     chemistry = build_chemistry(args.chemistry, case.mech, case, dt)
-    solver = DeepFlameSolver(case, chemistry=chemistry)
+    solver = DeepFlameSolver(case, chemistry=chemistry,
+                             transport=args.transport)
     print(f"  initial density range: [{solver.rho.min():.1f}, "
           f"{solver.rho.max():.1f}] kg/m^3 (real-fluid Peng-Robinson)")
 
     print(f"\nRunning {args.steps} steps at dt = {dt:.0e} s "
-          f"(chemistry: {args.chemistry}) ...")
+          f"(chemistry: {args.chemistry}, transport: {args.transport}) ...")
     for _ in range(args.steps):
         d = solver.step(dt)
         print(f"  step {d.step}: mass {d.total_mass:.6e} kg, "
@@ -114,6 +146,15 @@ def main() -> None:
                         ("Construction", tm.construction),
                         ("Solving", tm.solving), ("Other", tm.other)]:
             print(f"  {name:15s} {t*1e3:8.2f} ms  ({t/total*100:4.1f} %)")
+
+    print("\nMeasuring the per-step transport speedup "
+          "(coupled vs per-species, frozen chemistry) ...")
+    per_step = measure_transport_speedup(
+        lambda: build_tgv_case(n=args.n), dt)
+    print(f"  per-species: {per_step['per-species']*1e3:7.2f} ms/step "
+          "(construction + solving)")
+    print(f"  coupled:     {per_step['coupled']*1e3:7.2f} ms/step")
+    print(f"  speedup:     {per_step['per-species']/per_step['coupled']:.2f}x")
 
     stats = getattr(solver.chemistry, "last_backend_stats", None)
     if stats is not None:

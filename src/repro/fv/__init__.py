@@ -8,8 +8,9 @@ assembly of Sec. 3.2.4.
 
 from .boundary import BoundaryCondition, FixedGradient, FixedValue, ZeroGradient
 from .construction import FaceClassification, classify_faces, two_phase_scatter
-from .fields import SurfaceField, VolField
+from .fields import MultiVolField, SurfaceField, VolField
 from .operators import (
+    CoupledTransportEquation,
     FVMatrix,
     fvc_div,
     fvc_grad,
@@ -23,10 +24,12 @@ from .operators import (
 
 __all__ = [
     "BoundaryCondition",
+    "CoupledTransportEquation",
     "FVMatrix",
     "FaceClassification",
     "FixedGradient",
     "FixedValue",
+    "MultiVolField",
     "SurfaceField",
     "VolField",
     "ZeroGradient",

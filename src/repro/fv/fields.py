@@ -7,7 +7,7 @@ import numpy as np
 from ..mesh.unstructured import UnstructuredMesh
 from .boundary import BoundaryCondition, ZeroGradient
 
-__all__ = ["VolField", "SurfaceField"]
+__all__ = ["VolField", "MultiVolField", "SurfaceField"]
 
 
 class VolField:
@@ -114,6 +114,141 @@ class VolField:
 
     def volume_average(self):
         return self.volume_integral() / self.mesh.cell_volumes.sum()
+
+
+class MultiVolField:
+    """k scalar cell fields on one mesh, sharing the boundary machinery.
+
+    The storage is a single ``(n_cells, k)`` array — column ``j`` is
+    one scalar field (a species mass fraction, a velocity component).
+    All columns share the mesh, the patch layout and — crucially for
+    the shared-operator transport path — the *type* of boundary
+    condition on each patch, so one implicit LDU operator serves every
+    column and only the boundary *sources* differ per column
+    (:class:`~repro.fv.operators.CoupledTransportEquation`).
+
+    Parameters
+    ----------
+    names:
+        One name per column (diagnostics).
+    mesh:
+        The shared mesh.
+    values:
+        Cell values, shape ``(n_cells, k)``.  The array is referenced,
+        not copied, so solver write-backs update the caller's storage.
+    boundary:
+        One ``patch -> BoundaryCondition`` dict per column (or None for
+        all-zero-gradient, the transported-scalar default).
+    """
+
+    def __init__(
+        self,
+        names: list[str],
+        mesh: UnstructuredMesh,
+        values: np.ndarray,
+        boundary: list[dict[str, BoundaryCondition] | None] | None = None,
+    ):
+        self.names = list(names)
+        self.mesh = mesh
+        self.values = np.asarray(values, dtype=float)
+        if self.values.ndim != 2:
+            raise ValueError("MultiVolField needs values of shape (n_cells, k)")
+        if self.values.shape[0] != mesh.n_cells:
+            raise ValueError(
+                f"{self.values.shape[0]} rows for {mesh.n_cells} cells")
+        if len(self.names) != self.values.shape[1]:
+            raise ValueError(
+                f"{len(self.names)} names for {self.values.shape[1]} columns")
+        if boundary is None:
+            boundary = [None] * self.k
+        if len(boundary) != self.k:
+            raise ValueError(f"{len(boundary)} boundary dicts for {self.k} "
+                             "columns")
+        self.boundary: list[dict[str, BoundaryCondition]] = []
+        for bdict in boundary:
+            bdict = dict(bdict or {})
+            col: dict[str, BoundaryCondition] = {}
+            for p in mesh.patches:
+                col[p.name] = bdict.pop(p.name, ZeroGradient())
+            if bdict:
+                raise KeyError(f"unknown patches in BCs: {sorted(bdict)}")
+            self.boundary.append(col)
+
+    # ----------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        return self.values.shape[1]
+
+    @classmethod
+    def from_fields(cls, fields: list[VolField]) -> "MultiVolField":
+        """Bundle scalar fields defined on the same mesh (values are
+        copied into the packed ``(n, k)`` layout)."""
+        if not fields:
+            raise ValueError("need at least one field")
+        mesh = fields[0].mesh
+        if any(f.mesh is not mesh for f in fields):
+            raise ValueError("all fields must share one mesh")
+        if any(f.is_vector for f in fields):
+            raise ValueError("only scalar fields can be bundled")
+        packed = cls([f.name for f in fields], mesh,
+                     np.stack([f.values for f in fields], axis=1))
+        packed.boundary = [dict(f.boundary) for f in fields]
+        return packed
+
+    @classmethod
+    def from_vector(cls, field: VolField) -> "MultiVolField":
+        """The 3 components of a vector field as one multi-field
+        (FixedValue vector BCs are projected per component)."""
+        if not field.is_vector:
+            raise ValueError(f"{field.name} is not a vector field")
+        return cls.from_fields([field.component(c) for c in range(3)])
+
+    def column(self, j: int) -> VolField:
+        """Column ``j`` as a stand-alone :class:`VolField` (copy)."""
+        f = VolField(self.names[j], self.mesh, self.values[:, j].copy())
+        f.boundary = dict(self.boundary[j])
+        return f
+
+    def copy(self) -> "MultiVolField":
+        f = MultiVolField(self.names, self.mesh, self.values.copy())
+        f.boundary = [dict(b) for b in self.boundary]
+        return f
+
+    # -- shared-operator boundary coefficients -------------------------
+    def patch_value_coeffs(self, patch_name: str, deltas: np.ndarray):
+        """``(vi, vb)`` with the internal coefficient shared across
+        columns: ``vi`` has shape ``(m,)``, ``vb`` shape ``(m, k)``.
+
+        Raises if the columns' BCs disagree on the internal (implicit)
+        coefficient — then they do not share an operator and must be
+        solved per field.
+        """
+        vis, vbs = [], []
+        for bdict in self.boundary:
+            vi, vb = bdict[patch_name].value_coeffs(deltas)
+            vis.append(vi)
+            vbs.append(vb)
+        return self._shared(patch_name, vis), np.stack(vbs, axis=1)
+
+    def patch_gradient_coeffs(self, patch_name: str, deltas: np.ndarray):
+        """Gradient analogue of :meth:`patch_value_coeffs`."""
+        gis, gbs = [], []
+        for bdict in self.boundary:
+            gi, gb = bdict[patch_name].gradient_coeffs(deltas)
+            gis.append(gi)
+            gbs.append(gb)
+        return self._shared(patch_name, gis), np.stack(gbs, axis=1)
+
+    @staticmethod
+    def _shared(patch_name: str, coeffs: list[np.ndarray]) -> np.ndarray:
+        first = coeffs[0]
+        for c in coeffs[1:]:
+            if not np.array_equal(c, first):
+                raise ValueError(
+                    f"patch {patch_name!r}: boundary conditions differ in "
+                    "their implicit coefficient across columns — the fields "
+                    "do not share an operator")
+        return first
 
 
 class SurfaceField:

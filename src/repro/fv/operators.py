@@ -18,14 +18,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..solvers.blocked import pbicgstab_solve_multi, pcg_solve_multi
 from ..solvers.controls import SolverControls, SolverResult
 from ..solvers.pbicgstab import pbicgstab_solve
 from ..solvers.pcg import pcg_solve
 from ..solvers.preconditioners import DICPreconditioner, JacobiPreconditioner
 from ..sparse.ldu import LDUMatrix
-from .fields import SurfaceField, VolField
+from .fields import MultiVolField, SurfaceField, VolField
 
 __all__ = [
+    "CoupledTransportEquation",
     "FVMatrix",
     "fvm_ddt",
     "fvm_div",
@@ -88,7 +90,11 @@ class FVMatrix:
     ) -> tuple[np.ndarray, SolverResult]:
         """Solve the system; optionally write back into the field."""
         if solver == "auto":
-            solver = "PCG" if self.a.is_symmetric(tol=1e-14) else "PBiCGStab"
+            # Cached: correctors / outer iterations re-solve the same
+            # LDUMatrix instance, and its off-diagonal symmetry does
+            # not change between solves.
+            solver = "PCG" if self.a.is_symmetric_cached(tol=1e-14) \
+                else "PBiCGStab"
         if solver == "PCG":
             pre = DICPreconditioner(self.a).apply if self.a.n < 50_000 else \
                 JacobiPreconditioner(self.a).apply
@@ -111,6 +117,146 @@ class FVMatrix:
         return x, res
 
 
+class CoupledTransportEquation:
+    """k transport equations sharing one implicit operator.
+
+    The species equations (and the momentum components) of the
+    DeepFlame step discretize the same ``ddt + div(phi, .) -
+    laplacian(gamma, .)`` operator — only right-hand sides and boundary
+    *sources* differ.  This class assembles that LDU operator **once**
+    for a :class:`MultiVolField` and carries an ``(n, k)`` source
+    block, so the whole group is solved with one blocked Krylov solve
+    (:func:`~repro.solvers.blocked.pbicgstab_solve_multi` /
+    :func:`~repro.solvers.blocked.pcg_solve_multi`) instead of k
+    sequential assemble+solve passes.
+
+    Columns must share the implicit part of their boundary conditions
+    (same BC type per patch); :class:`MultiVolField` verifies this at
+    assembly time and raises otherwise.
+    """
+
+    def __init__(self, field: MultiVolField, a: LDUMatrix,
+                 source: np.ndarray):
+        self.field = field
+        self.a = a
+        self.source = np.asarray(source, dtype=float)
+        if self.source.shape != field.values.shape:
+            raise ValueError("source block must match the field block")
+
+    # -- assembly ------------------------------------------------------
+    @classmethod
+    def transport(
+        cls,
+        field: MultiVolField,
+        rho: np.ndarray | float,
+        dt: float,
+        phi: SurfaceField | None = None,
+        gamma: np.ndarray | float | None = None,
+        rho_old: np.ndarray | float | None = None,
+        old_values: np.ndarray | None = None,
+        scheme: str = "upwind",
+    ) -> "CoupledTransportEquation":
+        """Assemble ``ddt(rho, .) + div(phi, .) - laplacian(gamma, .)``
+        once for all k columns.
+
+        Term for term this reproduces ``fvm_ddt + fvm_div -
+        fvm_laplacian`` (same coefficients, same sign convention); the
+        boundary contributions enter the shared diagonal once and the
+        per-column sources as an ``(n, k)`` block.
+        """
+        mesh = field.mesh
+        n, k = field.values.shape
+        nif = mesh.n_internal_faces
+        v = mesh.cell_volumes
+        a = LDUMatrix.from_mesh(mesh)
+        b = np.zeros((n, k))
+
+        # ddt
+        rho_b = np.broadcast_to(np.asarray(rho, float), (n,))
+        rho_old_b = rho_b if rho_old is None else np.broadcast_to(
+            np.asarray(rho_old, float), (n,))
+        old = field.values if old_values is None else \
+            np.asarray(old_values, float)
+        a.diag += rho_b * v / dt
+        b += (rho_old_b * v / dt)[:, None] * old
+
+        deltas = mesh.boundary_delta_coeffs()
+
+        # div (convection)
+        if phi is not None:
+            _div_internal(a, mesh, phi.internal, scheme)
+            for p in mesh.patches:
+                sl = slice(p.start - nif, p.start - nif + p.size)
+                cells = mesh.owner[p.slice]
+                vi, vb = field.patch_value_coeffs(p.name, deltas[sl])
+                phib = phi.boundary[sl]
+                np.add.at(a.diag, cells, phib * vi)
+                np.add.at(b, cells, -phib[:, None] * vb)
+
+        # - laplacian (diffusion), subtracted as in the PDE
+        if gamma is not None:
+            gamma_f = _face_gamma(mesh, gamma)
+            coeff = _laplacian_coeff(mesh, gamma_f)
+            a.upper -= coeff
+            a.lower -= coeff
+            np.add.at(a.diag, mesh.owner[:nif], coeff)
+            np.add.at(a.diag, mesh.neighbour, coeff)
+            mag_sf_b = np.linalg.norm(mesh.face_areas[nif:], axis=1)
+            for p in mesh.patches:
+                sl = slice(p.start - nif, p.start - nif + p.size)
+                cells = mesh.owner[p.slice]
+                gi, gb = field.patch_gradient_coeffs(p.name, deltas[sl])
+                gsf = gamma_f[p.slice] * mag_sf_b[sl]
+                np.add.at(a.diag, cells, -gsf * gi)
+                np.add.at(b, cells, gsf[:, None] * gb)
+        return cls(field, a, b)
+
+    # -- solve ---------------------------------------------------------
+    def residual(self, x: np.ndarray | None = None) -> np.ndarray:
+        x = self.field.values if x is None else x
+        return self.source - self.a.matvec_multi(x)
+
+    def solve(
+        self,
+        solver: str = "auto",
+        controls: SolverControls = SolverControls(tolerance=1e-7,
+                                                  rel_tol=1e-3,
+                                                  max_iterations=500),
+        update: bool = True,
+    ) -> tuple[np.ndarray, list[SolverResult]]:
+        """One blocked Krylov solve for all k columns.
+
+        Returns the ``(n, k)`` solution block and one per-column
+        :class:`SolverResult`.  The operator is converted to CSR once
+        so every iteration applies it to the whole block with a single
+        sparse-times-dense product.
+        """
+        if solver == "auto":
+            solver = "PCG" if self.a.is_symmetric_cached(tol=1e-14) \
+                else "PBiCGStab"
+        csr = self.a.to_csr()
+
+        def mv(x: np.ndarray) -> np.ndarray:
+            return csr @ x
+
+        if solver == "PCG":
+            pre = DICPreconditioner(self.a) if self.a.n < 50_000 else \
+                JacobiPreconditioner(self.a)
+            x, results = pcg_solve_multi(
+                self.a, self.source, x0=self.field.values,
+                preconditioner=pre.apply_multi, controls=controls, matvec=mv)
+        elif solver == "PBiCGStab":
+            x, results = pbicgstab_solve_multi(
+                self.a, self.source, x0=self.field.values,
+                preconditioner=JacobiPreconditioner(self.a).apply_multi,
+                controls=controls, matvec=mv)
+        else:
+            raise ValueError(f"unknown blocked solver {solver!r}")
+        if update:
+            self.field.values[:] = x
+        return x, results
+
+
 # ----------------------------------------------------------------------
 def fvm_ddt(rho: np.ndarray | float, field: VolField, dt: float,
             rho_old: np.ndarray | float | None = None,
@@ -127,6 +273,35 @@ def fvm_ddt(rho: np.ndarray | float, field: VolField, dt: float,
     return FVMatrix(field, a, rho_old_b * v / dt * old)
 
 
+def _div_internal(a: LDUMatrix, mesh, phi_i: np.ndarray, scheme: str) -> None:
+    """Accumulate the internal-face convection coefficients into ``a``
+    (shared by the per-field and the coupled assembly paths)."""
+    nif = mesh.n_internal_faces
+    if scheme == "upwind":
+        pos = np.maximum(phi_i, 0.0)
+        neg = np.minimum(phi_i, 0.0)
+        # owner row: +phi * psi_f ; neighbour row: -phi * psi_f
+        np.add.at(a.diag, mesh.owner[:nif], pos)
+        a.upper += neg
+        np.add.at(a.diag, mesh.neighbour, -neg)
+        a.lower += -pos
+    elif scheme == "linear":
+        w = mesh.face_interpolation_weights()
+        np.add.at(a.diag, mesh.owner[:nif], phi_i * w)
+        a.upper += phi_i * (1.0 - w)
+        np.add.at(a.diag, mesh.neighbour, -phi_i * (1.0 - w))
+        a.lower += -phi_i * w
+    else:
+        raise ValueError(f"unknown div scheme {scheme!r}")
+
+
+def _laplacian_coeff(mesh, gamma_f: np.ndarray) -> np.ndarray:
+    """Internal-face diffusion coefficient gamma |Sf| / delta."""
+    nif = mesh.n_internal_faces
+    return gamma_f[:nif] * np.linalg.norm(
+        mesh.face_areas[:nif], axis=1) * mesh.face_delta_coeffs()
+
+
 def fvm_div(phi: SurfaceField, field: VolField, scheme: str = "upwind") -> FVMatrix:
     """Implicit divergence of ``phi * psi`` (``phi`` = face mass flux).
 
@@ -137,24 +312,7 @@ def fvm_div(phi: SurfaceField, field: VolField, scheme: str = "upwind") -> FVMat
     nif = mesh.n_internal_faces
     a = LDUMatrix.from_mesh(mesh)
     b = np.zeros(mesh.n_cells)
-    phi_i = phi.internal
-
-    if scheme == "upwind":
-        pos = np.maximum(phi_i, 0.0)
-        neg = np.minimum(phi_i, 0.0)
-        # owner row: +phi * psi_f ; neighbour row: -phi * psi_f
-        np.add.at(a.diag, mesh.owner[:nif], pos)
-        a.upper[:] = neg
-        np.add.at(a.diag, mesh.neighbour, -neg)
-        a.lower[:] = -pos
-    elif scheme == "linear":
-        w = mesh.face_interpolation_weights()
-        np.add.at(a.diag, mesh.owner[:nif], phi_i * w)
-        a.upper[:] = phi_i * (1.0 - w)
-        np.add.at(a.diag, mesh.neighbour, -phi_i * (1.0 - w))
-        a.lower[:] = -phi_i * w
-    else:
-        raise ValueError(f"unknown div scheme {scheme!r}")
+    _div_internal(a, mesh, phi.internal, scheme)
 
     # Boundary faces: psi_f from the BC, flux from phi.
     deltas = mesh.boundary_delta_coeffs()
@@ -180,8 +338,7 @@ def fvm_laplacian(gamma: np.ndarray | float, field: VolField) -> FVMatrix:
     a = LDUMatrix.from_mesh(mesh)
     b = np.zeros(mesh.n_cells)
 
-    coeff = gamma_f[:nif] * np.linalg.norm(
-        mesh.face_areas[:nif], axis=1) * mesh.face_delta_coeffs()
+    coeff = _laplacian_coeff(mesh, gamma_f)
     a.upper[:] = coeff
     a.lower[:] = coeff
     np.add.at(a.diag, mesh.owner[:nif], -coeff)

@@ -1,6 +1,8 @@
 """Linear solvers for the FV systems: PCG, PBiCGStab and GAMG with
-Jacobi / DIC / (block-)symmetric-GS preconditioning."""
+Jacobi / DIC / (block-)symmetric-GS preconditioning, plus blocked
+multi-RHS PCG/PBiCGStab for shared-operator transport solves."""
 
+from .blocked import pbicgstab_solve_multi, pcg_solve_multi
 from .controls import SolverControls, SolverResult
 from .gamg import GAMGSolver, agglomerate
 from .pbicgstab import pbicgstab_solve
@@ -21,5 +23,7 @@ __all__ = [
     "SymGaussSeidelPreconditioner",
     "agglomerate",
     "pbicgstab_solve",
+    "pbicgstab_solve_multi",
     "pcg_solve",
+    "pcg_solve_multi",
 ]

@@ -34,6 +34,12 @@ class JacobiPreconditioner:
     def apply(self, r: np.ndarray) -> np.ndarray:
         return r * self.r_diag
 
+    def apply_multi(self, r: np.ndarray) -> np.ndarray:
+        """Apply to a multi-vector ``(n, k)`` residual block."""
+        if r.ndim == 1:
+            return self.apply(r)
+        return r * self.r_diag[:, None]
+
 
 class DICPreconditioner:
     """Diagonal-based Incomplete Cholesky on the LDU pattern.
@@ -60,14 +66,25 @@ class DICPreconditioner:
             r_d[self.nb[f]] -= self.upper[f] ** 2 / r_d[self.own[f]]
         self.r_d = 1.0 / r_d
 
-    def apply(self, r: np.ndarray) -> np.ndarray:
-        w = r * self.r_d
+    def _sweeps(self, w: np.ndarray) -> np.ndarray:
+        """Forward/backward face sweeps; each row update broadcasts,
+        so one pass serves a 1-D vector or an ``(n, k)`` block alike."""
         own, nb, up, rd = self.own, self.nb, self.upper, self.r_d
         for f in range(own.size):
             w[nb[f]] -= rd[nb[f]] * up[f] * w[own[f]]
         for f in range(own.size - 1, -1, -1):
             w[own[f]] -= rd[own[f]] * up[f] * w[nb[f]]
         return w
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        return self._sweeps(r * self.r_d)
+
+    def apply_multi(self, r: np.ndarray) -> np.ndarray:
+        """Apply to ``(n, k)``: one pair of face sweeps covers all k
+        columns, amortizing the sequential-sweep cost k-fold."""
+        if r.ndim == 1:
+            return self.apply(r)
+        return self._sweeps(r * self.r_d[:, None])
 
 
 class SymGaussSeidelPreconditioner:
@@ -111,4 +128,21 @@ class SymGaussSeidelPreconditioner:
             dl, du, d = self._tri[i]
             y = spsolve_triangular(dl, r[r0:r1], lower=True)
             w[r0:r1] = spsolve_triangular(du, d * y, lower=False)
+        return w
+
+    def apply_multi(self, r: np.ndarray) -> np.ndarray:
+        """Apply to ``(n, k)``: the triangular solves take the whole
+        multi-vector at once."""
+        if r.ndim == 1:
+            return self.apply(r)
+        if self.mode == "serial":
+            y = spsolve_triangular(self._dl, r, lower=True)
+            return spsolve_triangular(self._du, self._d[:, None] * y,
+                                      lower=False)
+        w = np.empty_like(r)
+        for i in range(self.block.t):
+            r0, r1 = self.block.row_ranges[i]
+            dl, du, d = self._tri[i]
+            y = spsolve_triangular(dl, r[r0:r1], lower=True)
+            w[r0:r1] = spsolve_triangular(du, d[:, None] * y, lower=False)
         return w

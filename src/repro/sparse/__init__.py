@@ -13,7 +13,7 @@ from .convert import (
 )
 from .gauss_seidel import SmootherStats, gauss_seidel_block, gauss_seidel_csr
 from .ldu import LDUMatrix
-from .spmv import SpmvCost, spmv_block, spmv_cost, spmv_ldu
+from .spmv import SpmvCost, spmv_block, spmv_cost, spmv_ldu, spmv_ldu_multi
 
 __all__ = [
     "BlockCSRMatrix",
@@ -28,4 +28,5 @@ __all__ = [
     "spmv_block",
     "spmv_cost",
     "spmv_ldu",
+    "spmv_ldu_multi",
 ]

