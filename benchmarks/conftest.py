@@ -21,12 +21,23 @@ def pytest_addoption(parser):
         "--smoke", action="store_true", default=False,
         help="shrink benchmark problem sizes for quick CI smoke runs",
     )
+    parser.addoption(
+        "--executed", action="store_true", default=False,
+        help="also run the executed (domain-decomposed, in-process) "
+             "communication benches next to the analytic models",
+    )
 
 
 @pytest.fixture(scope="session")
 def smoke(request) -> bool:
     """True when the run was launched with ``--smoke``."""
     return bool(request.config.getoption("--smoke"))
+
+
+@pytest.fixture(scope="session")
+def executed(request) -> bool:
+    """True when the run was launched with ``--executed``."""
+    return bool(request.config.getoption("--executed"))
 
 
 def emit(title: str, lines: list[str]) -> None:

@@ -26,6 +26,9 @@ Subpackages
 ``dnn``
     From-scratch MLP stack: training, FP16 emulation, GeLU
     tabulation, ODENet and PRNet surrogates, inference engine.
+``dist``
+    Domain-decomposed execution: subdomains with halo layers, packed
+    halo exchange, distributed blocked Krylov, the decomposed solver.
 ``runtime``
     Machine models of Sunway/Fugaku/LS, communication cost model,
     calibrated performance model, scaling drivers.

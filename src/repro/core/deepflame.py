@@ -21,12 +21,22 @@ Per time step:
 Every step records the paper's component timings (DNN / Construction /
 Solving / Other) plus solver flop counts -- this instrumented breakdown
 is what the Fig. 11 bench measures at laptop scale.
+
+The step is split into reusable **physics stages** -- per-cell updates
+(``stage_properties`` / ``stage_chemistry``), equation assemblies
+(``assemble_*_eqn``) and post-solve updates (``finish_*``) -- so the
+same code drives two execution modes: the serial :meth:`step` below,
+and the domain-decomposed driver
+(:class:`repro.dist.DecomposedSolver`), which runs one instance of
+this class per subdomain and replaces the local ``solve`` calls with
+distributed Krylov solves + halo exchanges.
 """
 
 from __future__ import annotations
 
+import copy
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -34,6 +44,7 @@ from ..chemistry.backends import ChemistryBackend
 from ..fv.fields import MultiVolField, SurfaceField, VolField
 from ..fv.operators import (
     CoupledTransportEquation,
+    FVMatrix,
     fvc_grad,
     fvc_surface_integral,
     fvm_ddt,
@@ -146,16 +157,166 @@ class DeepFlameSolver:
         flux = rho_f * np.einsum("fi,fi->f", u_f, mesh.face_areas)
         return SurfaceField("phi", mesh, flux)
 
-    def _psi_field(self) -> np.ndarray:
+    def _psi_field(self, cells=slice(None)) -> np.ndarray:
         """Compressibility psi = drho/dp at the current state."""
         if hasattr(self.properties, "rf"):
             return np.maximum(self.properties.rf.psi_compressibility(
-                self.props.temperature, self.p.values, self.y), 1e-9)
+                self.props.temperature[cells], self.p.values[cells],
+                self.y[cells]), 1e-9)
         # surrogate/ideal paths: ideal-gas estimate
         from ..constants import R_UNIVERSAL
 
-        w = self.mech.mean_molecular_weight(self.y)
-        return w / (R_UNIVERSAL * np.maximum(self.props.temperature, 100.0))
+        w = self.mech.mean_molecular_weight(self.y[cells])
+        return w / (R_UNIVERSAL
+                    * np.maximum(self.props.temperature[cells], 100.0))
+
+    # -- per-cell stages ---------------------------------------------------
+    def stage_properties(self, tm: StepTimings, cells=None) -> np.ndarray:
+        """Property evaluation ("DNN" component); returns the previous
+        density field (the ddt ``rho_old``).
+
+        With ``cells``, only those rows of the property arrays are
+        recomputed.  The decomposed driver restricts the evaluation to
+        a subdomain's owned rows and fills the ghost rows by halo
+        exchange: the evaluators' Newton loops use batch-global
+        convergence criteria, so recomputing a ghost cell in a
+        different batch would not reproduce its owner's value exactly.
+        """
+        t0 = time.perf_counter()
+        if cells is None:
+            self.props = self.properties.evaluate(
+                self.h, self.p.values, self.y,
+                t_guess=self.props.temperature)
+        else:
+            part = self.properties.evaluate(
+                self.h[cells], self.p.values[cells], self.y[cells],
+                t_guess=self.props.temperature[cells])
+            for name in ("rho", "temperature", "mu", "alpha", "cp"):
+                getattr(self.props, name)[cells] = getattr(part, name)
+        rho_old = self.rho.copy()
+        self.rho = self.props.rho.copy()
+        tm.dnn += time.perf_counter() - t0
+        return rho_old
+
+    def stage_chemistry(self, dt: float, tm: StepTimings,
+                        cells=None) -> None:
+        """Chemistry at constant (h, p) on ``cells`` (all by default).
+
+        The decomposed driver restricts the advance to the owned rows
+        of a subdomain and halo-exchanges the result -- chemistry is
+        the one stage expensive enough that no rank recomputes it for
+        its ghost layer.
+        """
+        t0 = time.perf_counter()
+        if cells is None:
+            _, y_new = self.chemistry.advance(
+                self.props.temperature, self.p.values, self.y, dt)
+            self.y = np.asarray(y_new, dtype=float)
+        else:
+            _, y_new = self.chemistry.advance(
+                self.props.temperature[cells], self.p.values[cells],
+                self.y[cells], dt)
+            self.y[cells] = np.asarray(y_new, dtype=float)
+        tm.dnn += time.perf_counter() - t0
+
+    # -- assembly / finish stages ------------------------------------------
+    def assemble_species_eqn(self, dt: float, rho_old: np.ndarray,
+                             d_eff: np.ndarray,
+                             tm: StepTimings) -> CoupledTransportEquation:
+        """All n_species equations share one ``ddt + div - laplacian``
+        operator: assemble it once as a blocked system."""
+        t0 = time.perf_counter()
+        yf = MultiVolField(
+            [f"Y_{s}" for s in self.mech.species_names], self.mesh, self.y)
+        eqn = CoupledTransportEquation.transport(
+            yf, self.rho, dt, phi=self.phi, gamma=self.rho * d_eff,
+            rho_old=rho_old, scheme="upwind")
+        tm.construction += time.perf_counter() - t0
+        return eqn
+
+    def finish_species(self, y: np.ndarray, tm: StepTimings,
+                       cells=slice(None)) -> None:
+        """Adopt a solved mass-fraction block: clip + renormalize."""
+        t0 = time.perf_counter()
+        y = np.clip(y, 0.0, 1.0)
+        y /= y.sum(axis=1, keepdims=True)
+        self.y[cells] = y
+        tm.other += time.perf_counter() - t0
+
+    def assemble_energy_eqn(self, dt: float, rho_old: np.ndarray,
+                            tm: StepTimings) -> FVMatrix:
+        """Implicit specific-enthalpy transport equation."""
+        h_field = VolField("h", self.mesh, self.h)
+        t0 = time.perf_counter()
+        eqn = (fvm_ddt(self.rho, h_field, dt, rho_old=rho_old)
+               + fvm_div(self.phi, h_field, scheme="upwind")
+               - fvm_laplacian(self.rho * self.props.alpha, h_field))
+        tm.construction += time.perf_counter() - t0
+        return eqn
+
+    def assemble_momentum_eqn(
+            self, dt: float, rho_old: np.ndarray, grad_p: np.ndarray,
+            tm: StepTimings) -> tuple[CoupledTransportEquation, np.ndarray]:
+        """The 3 momentum components as one blocked equation; returns
+        ``(eqn, r_au)`` with ``r_au = V / diag(A)`` (the PISO 1/A)."""
+        mesh = self.mesh
+        t0 = time.perf_counter()
+        uf = MultiVolField.from_vector(self.u)
+        eqn = CoupledTransportEquation.transport(
+            uf, self.rho, dt, phi=self.phi, gamma=self.props.mu,
+            rho_old=rho_old, scheme="upwind")
+        eqn.source -= grad_p * mesh.cell_volumes[:, None]
+        r_au = mesh.cell_volumes / eqn.a.diag
+        tm.construction += time.perf_counter() - t0
+        return eqn, r_au
+
+    def assemble_pressure_eqn(
+            self, dt: float, rho_old: np.ndarray, r_au: np.ndarray,
+            psi: np.ndarray, grad_p: np.ndarray,
+            tm: StepTimings) -> tuple[FVMatrix, dict]:
+        """One PISO corrector's pressure equation.
+
+        Returns ``(p_eqn, aux)``; ``aux`` carries the face fields and
+        the pre-solve pressure that :meth:`finish_pressure` consumes.
+        """
+        mesh = self.mesh
+        t0 = time.perf_counter()
+        hby_a = self.u.values + r_au[:, None] * grad_p
+        rho_f = VolField("rho", mesh, self.rho).face_values()
+        hby_a_f = VolField("HbyA", mesh, hby_a,
+                           boundary=self.u.boundary).face_values()
+        phi_hby_a = rho_f * np.einsum("fi,fi->f", hby_a_f, mesh.face_areas)
+        r_au_f = VolField("rAU", mesh, r_au).face_values()
+        p_eqn = (fvm_sp(psi / dt, self.p)
+                 - fvm_laplacian(rho_f * r_au_f, self.p))
+        p_eqn.source += (psi * self.p.values * mesh.cell_volumes / dt
+                         - (self.rho - rho_old) * mesh.cell_volumes / dt
+                         - fvc_surface_integral(mesh, phi_hby_a))
+        aux = {"hby_a": hby_a, "rho_f": rho_f, "r_au_f": r_au_f,
+               "phi_hby_a": phi_hby_a, "p_old": self.p.values.copy()}
+        tm.construction += time.perf_counter() - t0
+        return p_eqn, aux
+
+    def finish_pressure(self, dt: float, r_au: np.ndarray, psi: np.ndarray,
+                        aux: dict, tm: StepTimings) -> np.ndarray:
+        """Post-solve corrector updates: conservative face flux,
+        velocity and density corrections.  Returns the new pressure
+        gradient (input to the next corrector)."""
+        mesh = self.mesh
+        t0 = time.perf_counter()
+        nif = mesh.n_internal_faces
+        coeff = (aux["rho_f"] * aux["r_au_f"])[:nif] * np.linalg.norm(
+            mesh.face_areas[:nif], axis=1) * mesh.face_delta_coeffs()
+        dp_f = self.p.values[mesh.neighbour] \
+            - self.p.values[mesh.owner[:nif]]
+        new_flux = aux["phi_hby_a"].copy()
+        new_flux[:nif] -= coeff * dp_f
+        self.phi = SurfaceField("phi", mesh, new_flux)
+        grad_p = fvc_grad(self.p)
+        self.u.values[:] = aux["hby_a"] - r_au[:, None] * grad_p
+        self.rho = self.rho + psi * (self.p.values - aux["p_old"])
+        tm.other += time.perf_counter() - t0
+        return grad_p
 
     # -- one time step ---------------------------------------------------
     def step(self, dt: float) -> StepDiagnostics:
@@ -164,17 +325,9 @@ class DeepFlameSolver:
         solver_flops = 0
         solver_iters = 0
 
-        # (1) properties ("DNN" component)
-        t0 = time.perf_counter()
-        self.props = self.properties.evaluate(
-            self.h, self.p.values, self.y, t_guess=self.props.temperature)
-        rho_old = self.rho.copy()
-        self.rho = self.props.rho.copy()
-        # (2) chemistry at constant (h, p)
-        _, y_new = self.chemistry.advance(
-            self.props.temperature, self.p.values, self.y, dt)
-        self.y = np.asarray(y_new)
-        tm.dnn += time.perf_counter() - t0
+        # (1) properties + (2) chemistry ("DNN" component)
+        rho_old = self.stage_properties(tm)
+        self.stage_chemistry(dt, tm)
 
         # (3) species transport
         d_eff = self.props.alpha  # unity Lewis number
@@ -184,24 +337,16 @@ class DeepFlameSolver:
             sf, si = self._species_transport_sequential(dt, rho_old, d_eff, tm)
         solver_flops += sf
         solver_iters += si
-        t0 = time.perf_counter()
-        self.y = np.clip(self.y, 0.0, 1.0)
-        self.y /= self.y.sum(axis=1, keepdims=True)
-        tm.other += time.perf_counter() - t0
+        self.finish_species(self.y, tm)
 
         # (4) energy (specific enthalpy)
-        h_field = VolField("h", mesh, self.h)
-        t0 = time.perf_counter()
-        eqn_h = (fvm_ddt(self.rho, h_field, dt, rho_old=rho_old)
-                 + fvm_div(self.phi, h_field, scheme="upwind")
-                 - fvm_laplacian(self.rho * self.props.alpha, h_field))
-        tm.construction += time.perf_counter() - t0
+        eqn_h = self.assemble_energy_eqn(dt, rho_old, tm)
         t0 = time.perf_counter()
         _, res = eqn_h.solve(solver="PBiCGStab", controls=self.scalar_controls)
         tm.solving += time.perf_counter() - t0
         solver_flops += res.flops
         solver_iters += res.iterations
-        self.h = h_field.values
+        self.h = eqn_h.field.values
 
         # (5) momentum + pressure correction
         if self.solve_momentum:
@@ -227,15 +372,8 @@ class DeepFlameSolver:
     # -- transport stages -------------------------------------------------
     def _species_transport_coupled(self, dt, rho_old, d_eff,
                                    tm) -> tuple[int, int]:
-        """All n_species equations share one ``ddt + div - laplacian``
-        operator: assemble it once, solve one blocked Krylov system."""
-        t0 = time.perf_counter()
-        yf = MultiVolField(
-            [f"Y_{s}" for s in self.mech.species_names], self.mesh, self.y)
-        eqn = CoupledTransportEquation.transport(
-            yf, self.rho, dt, phi=self.phi, gamma=self.rho * d_eff,
-            rho_old=rho_old, scheme="upwind")
-        tm.construction += time.perf_counter() - t0
+        """Assemble once, solve one blocked Krylov system."""
+        eqn = self.assemble_species_eqn(dt, rho_old, d_eff, tm)
         t0 = time.perf_counter()
         x, results = eqn.solve(solver="PBiCGStab",
                                controls=self.scalar_controls)
@@ -271,15 +409,7 @@ class DeepFlameSolver:
     def _momentum_predictor_coupled(self, dt, rho_old, grad_p,
                                     tm) -> tuple[np.ndarray, int, int]:
         """The 3 momentum components as one blocked solve."""
-        mesh = self.mesh
-        t0 = time.perf_counter()
-        uf = MultiVolField.from_vector(self.u)
-        eqn = CoupledTransportEquation.transport(
-            uf, self.rho, dt, phi=self.phi, gamma=self.props.mu,
-            rho_old=rho_old, scheme="upwind")
-        eqn.source -= grad_p * mesh.cell_volumes[:, None]
-        r_au = mesh.cell_volumes / eqn.a.diag
-        tm.construction += time.perf_counter() - t0
+        eqn, r_au = self.assemble_momentum_eqn(dt, rho_old, grad_p, tm)
         t0 = time.perf_counter()
         x, results = eqn.solve(solver="PBiCGStab",
                                controls=self.scalar_controls)
@@ -314,7 +444,6 @@ class DeepFlameSolver:
         return r_au, flops, iters
 
     def _momentum_pressure(self, dt, rho_old, tm) -> tuple[int, int]:
-        mesh = self.mesh
         grad_p = fvc_grad(self.p)
         if self.transport == "coupled":
             r_au, flops, iters = self._momentum_predictor_coupled(
@@ -325,41 +454,50 @@ class DeepFlameSolver:
 
         psi = self._psi_field()
         for _ in range(self.n_correctors):
+            p_eqn, aux = self.assemble_pressure_eqn(
+                dt, rho_old, r_au, psi, grad_p, tm)
             t0 = time.perf_counter()
-            hby_a = self.u.values + r_au[:, None] * grad_p
-            rho_f = VolField("rho", mesh, self.rho).face_values()
-            hby_a_f = VolField("HbyA", mesh, hby_a,
-                               boundary=self.u.boundary).face_values()
-            phi_hby_a = rho_f * np.einsum("fi,fi->f", hby_a_f,
-                                          mesh.face_areas)
-            r_au_f = VolField("rAU", mesh, r_au).face_values()
-            p_eqn = (fvm_sp(psi / dt, self.p)
-                     - fvm_laplacian(rho_f * r_au_f, self.p))
-            p_eqn.source += (psi * self.p.values * mesh.cell_volumes / dt
-                             - (self.rho - rho_old) * mesh.cell_volumes / dt
-                             - fvc_surface_integral(mesh, phi_hby_a))
-            tm.construction += time.perf_counter() - t0
-            t0 = time.perf_counter()
-            p_old_vals = self.p.values.copy()
             _, res = p_eqn.solve(solver="PCG", controls=self.pressure_controls)
             tm.solving += time.perf_counter() - t0
             flops += res.flops
             iters += res.iterations
-            # flux and velocity correction
-            t0 = time.perf_counter()
-            nif = mesh.n_internal_faces
-            coeff = (rho_f * r_au_f)[:nif] * np.linalg.norm(
-                mesh.face_areas[:nif], axis=1) * mesh.face_delta_coeffs()
-            dp_f = self.p.values[mesh.neighbour] \
-                - self.p.values[mesh.owner[:nif]]
-            new_flux = phi_hby_a.copy()
-            new_flux[:nif] -= coeff * dp_f
-            self.phi = SurfaceField("phi", mesh, new_flux)
-            grad_p = fvc_grad(self.p)
-            self.u.values[:] = hby_a - r_au[:, None] * grad_p
-            self.rho = self.rho + psi * (self.p.values - p_old_vals)
-            tm.other += time.perf_counter() - t0
+            grad_p = self.finish_pressure(dt, r_au, psi, aux, tm)
         return flops, iters
+
+    # -- state snapshot ----------------------------------------------------
+    def state_snapshot(self) -> dict:
+        """Deep copy of the physical + time-marching state.
+
+        Covers everything :meth:`step` evolves physically (fields,
+        properties, flux, clocks).  Diagnostic counters inside
+        chemistry backends (work-per-cell stats, ``last_backend_stats``)
+        are *not* captured -- a restored probe step still leaves its
+        trace there.
+        """
+        return {
+            "y": self.y.copy(), "h": self.h.copy(), "rho": self.rho.copy(),
+            "u": self.u.values.copy(), "p": self.p.values.copy(),
+            "phi": self.phi.values.copy(),
+            "props": copy.deepcopy(self.props),
+            "current_time": self.current_time,
+            "step_count": self.step_count,
+            "last_timings": copy.deepcopy(self.last_timings),
+            "last_diag": copy.deepcopy(self.last_diag),
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        """Restore a :meth:`state_snapshot` (the snapshot stays valid)."""
+        self.y = snap["y"].copy()
+        self.h = snap["h"].copy()
+        self.rho = snap["rho"].copy()
+        self.u.values[:] = snap["u"]
+        self.p.values[:] = snap["p"]
+        self.phi = SurfaceField("phi", self.mesh, snap["phi"].copy())
+        self.props = copy.deepcopy(snap["props"])
+        self.current_time = snap["current_time"]
+        self.step_count = snap["step_count"]
+        self.last_timings = copy.deepcopy(snap["last_timings"])
+        self.last_diag = copy.deepcopy(snap["last_diag"])
 
     # -- multi-step driver ------------------------------------------------
     def run(self, n_steps: int, dt: float) -> list[StepDiagnostics]:
@@ -367,12 +505,22 @@ class DeepFlameSolver:
 
     def measure_workload(self, dt: float) -> dict:
         """One instrumented step -> per-cell workload numbers for the
-        performance model (pde flops, solver iterations, ...)."""
-        diag = self.step(dt)
-        n = self.mesh.n_cells
-        return {
-            "pde_flops_per_cell": diag.solver_flops / n,
-            "solver_iterations": diag.solver_iterations,
-            "timings": self.last_timings,
-            "n_cells": n,
-        }
+        performance model (pde flops, solver iterations, ...).
+
+        The probe step runs against a snapshot and the pre-call state
+        is restored afterwards, so calibrating a solver does not
+        perturb a subsequent :meth:`run`.
+        """
+        snap = self.state_snapshot()
+        try:
+            diag = self.step(dt)
+            n = self.mesh.n_cells
+            workload = {
+                "pde_flops_per_cell": diag.solver_flops / n,
+                "solver_iterations": diag.solver_iterations,
+                "timings": self.last_timings,
+                "n_cells": n,
+            }
+        finally:
+            self.restore_state(snap)
+        return workload

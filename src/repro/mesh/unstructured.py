@@ -58,6 +58,10 @@ class UnstructuredMesh:
     geometry:
         Optional precomputed ``(face_centres, face_areas, cell_centres,
         cell_volumes)``; computed from the points otherwise.
+    n_cells:
+        Explicit cell count.  Needed when the highest-numbered cell may
+        not own any face (e.g. halo cells of a subdomain mesh, which
+        only touch their cut faces); inferred from ``owner`` otherwise.
     """
 
     def __init__(
@@ -68,6 +72,7 @@ class UnstructuredMesh:
         neighbour: np.ndarray,
         patches: list[Patch],
         geometry: tuple | None = None,
+        n_cells: int | None = None,
     ):
         self.points = np.asarray(points, dtype=float)
         self.face_nodes = np.asarray(face_nodes, dtype=np.int64)
@@ -76,7 +81,10 @@ class UnstructuredMesh:
         self.patches = list(patches)
         self.n_faces = self.face_nodes.shape[0]
         self.n_internal_faces = self.neighbour.shape[0]
-        self.n_cells = int(self.owner.max()) + 1 if self.owner.size else 0
+        if n_cells is not None:
+            self.n_cells = int(n_cells)
+        else:
+            self.n_cells = int(self.owner.max()) + 1 if self.owner.size else 0
         self._check_patches()
         if geometry is not None:
             (self.face_centres, self.face_areas,

@@ -67,14 +67,30 @@ class SimulatedComm:
                 self.ledger.bytes_sent += payload.nbytes
         return inboxes
 
-    def allreduce(self, contributions: np.ndarray) -> float:
-        """Sum-allreduce of one scalar per rank."""
+    def allreduce(self, contributions: np.ndarray, op: str = "sum"):
+        """Allreduce of one contribution per rank.
+
+        ``contributions`` has shape ``(n_ranks,)`` (scalar payload, the
+        historical form -- returns a float) or ``(n_ranks, ...)`` (array
+        payload, e.g. the per-column partial dot products of a blocked
+        distributed Krylov solve -- returns the reduced array).
+        ``op`` is ``"sum"`` (default), ``"max"`` or ``"min"``; max/min
+        serve distributed residual norms and field diagnostics.
+        """
         contributions = np.asarray(contributions, dtype=float)
-        if contributions.shape != (self.n_ranks,):
+        if contributions.ndim < 1 or contributions.shape[0] != self.n_ranks:
             raise ValueError("one contribution per rank")
         self.ledger.allreduces += 1
         self.ledger.allreduce_bytes += contributions.nbytes
-        return float(contributions.sum())
+        if op == "sum":
+            out = contributions.sum(axis=0)
+        elif op == "max":
+            out = contributions.max(axis=0)
+        elif op == "min":
+            out = contributions.min(axis=0)
+        else:
+            raise ValueError(f"unknown allreduce op {op!r}")
+        return float(out) if np.ndim(out) == 0 else out
 
 
 # ----------------------------------------------------------------------

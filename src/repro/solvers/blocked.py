@@ -16,6 +16,13 @@ convergence masking**: columns that converge are retired from the
 active block — their solution stops being touched, their
 :class:`SolverResult` is finalized with their own iteration count, and
 the remaining columns keep iterating on a compacted block.
+
+Both solvers accept reduction hooks (``coldot``, ``colsum_abs``) in
+addition to the ``matvec`` override: a distributed caller (the
+``repro.dist`` subsystem) passes hooks that compute per-rank partial
+reductions and combine them through ``SimulatedComm.allreduce``, so
+the *same* Krylov code drives the serial and the domain-decomposed
+solves and every global reduction hits the communication ledger.
 """
 
 from __future__ import annotations
@@ -64,23 +71,29 @@ def pbicgstab_solve_multi(
     preconditioner: Callable[[np.ndarray], np.ndarray] | None = None,
     controls: SolverControls = SolverControls(),
     matvec: Callable[[np.ndarray], np.ndarray] | None = None,
+    coldot: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
+    colsum_abs: Callable[[np.ndarray], np.ndarray] | None = None,
 ) -> tuple[np.ndarray, list[SolverResult]]:
     """Solve ``A X = B`` for k right-hand sides with blocked BiCGStab.
 
     Returns ``(X, results)`` where ``results[j]`` reports column j's
     own iteration count, residuals and flops (one
     :class:`SolverResult` per column, as if it had been solved alone).
+    ``coldot``/``colsum_abs`` override the per-column reductions (for
+    distributed execution, where they allreduce per-rank partials).
     """
     b = _check_rhs(a, b)
     n, k = b.shape
     mv = matvec if matvec is not None else a.matvec_multi
+    cdot = coldot if coldot is not None else _coldot
+    csum = colsum_abs if colsum_abs is not None else _colsum_abs
     precond = preconditioner if preconditioner is not None else (lambda r: r)
     x = np.zeros((n, k)) if x0 is None else \
         np.array(x0, dtype=float, copy=True)
 
-    norm_factor = _colsum_abs(b) + 1e-300
+    norm_factor = csum(b) + 1e-300
     r = b - mv(x)
-    res0 = _colsum_abs(r) / norm_factor
+    res0 = csum(r) / norm_factor
     res = res0.copy()
     fl = np.full(k, 2 * a.nnz + 2 * n, dtype=np.int64)
     results: list[SolverResult | None] = [None] * k
@@ -124,7 +137,7 @@ def pbicgstab_solve_multi(
     for it in range(1, controls.max_iterations + 1):
         if act.size == 0:
             break
-        rho = _coldot(r_hat, r)
+        rho = cdot(r_hat, r)
         broke = np.abs(rho) < 1e-300
         if broke.any():
             keep = retire(broke, it, converged=False)
@@ -136,10 +149,10 @@ def pbicgstab_solve_multi(
         p = r + beta * (p - omega * v)
         p_hat = precond(p)
         v = mv(p_hat)
-        alpha = rho / _coldot(r_hat, v)
+        alpha = rho / cdot(r_hat, v)
         s = r - alpha * v
         fl += 2 * a.nnz + 10 * n
-        res_a = _colsum_abs(s) / nf
+        res_a = csum(s) / nf
         conv = _converged_mask(controls, res_a, res0_a)
         if conv.any():
             x[:, act[conv]] += alpha[conv] * p_hat[:, conv]
@@ -150,14 +163,14 @@ def pbicgstab_solve_multi(
                 break
         s_hat = precond(s)
         t = mv(s_hat)
-        tt = _coldot(t, t)
+        tt = cdot(t, t)
         pos = tt > 0
-        omega = np.where(pos, _coldot(t, s) / np.where(pos, tt, 1.0), 0.0)
+        omega = np.where(pos, cdot(t, s) / np.where(pos, tt, 1.0), 0.0)
         x[:, act] += alpha * p_hat + omega * s_hat
         r = s - omega * t
         rho_old = rho
         fl += 2 * a.nnz + 10 * n
-        res_a = _colsum_abs(r) / nf
+        res_a = csum(r) / nf
         conv = _converged_mask(controls, res_a, res0_a)
         broke = (np.abs(omega) < 1e-300) & ~conv
         if conv.any() or broke.any():
@@ -176,6 +189,8 @@ def pcg_solve_multi(
     preconditioner: Callable[[np.ndarray], np.ndarray] | None = None,
     controls: SolverControls = SolverControls(),
     matvec: Callable[[np.ndarray], np.ndarray] | None = None,
+    coldot: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
+    colsum_abs: Callable[[np.ndarray], np.ndarray] | None = None,
 ) -> tuple[np.ndarray, list[SolverResult]]:
     """Solve ``A X = B`` (A symmetric positive definite) for k
     right-hand sides with blocked preconditioned CG.
@@ -188,13 +203,15 @@ def pcg_solve_multi(
     b = _check_rhs(a, b)
     n, k = b.shape
     mv = matvec if matvec is not None else a.matvec_multi
+    cdot = coldot if coldot is not None else _coldot
+    csum = colsum_abs if colsum_abs is not None else _colsum_abs
     precond = preconditioner if preconditioner is not None else (lambda r: r)
     x = np.zeros((n, k)) if x0 is None else \
         np.array(x0, dtype=float, copy=True)
 
-    norm_factor = _colsum_abs(b) + 1e-300
+    norm_factor = csum(b) + 1e-300
     r = b - mv(x)
-    res0 = _colsum_abs(r) / norm_factor
+    res0 = csum(r) / norm_factor
     res = res0.copy()
     fl = np.full(k, 2 * a.nnz + 2 * n, dtype=np.int64)
     results: list[SolverResult | None] = [None] * k
@@ -213,7 +230,7 @@ def pcg_solve_multi(
 
     z = precond(r)
     p = z.copy()
-    rz = _coldot(r, z)
+    rz = cdot(r, z)
 
     def retire(mask: np.ndarray, it: int, converged: bool) -> np.ndarray:
         for i in np.nonzero(mask)[0]:
@@ -235,11 +252,11 @@ def pcg_solve_multi(
         if act.size == 0:
             break
         ap = mv(p)
-        alpha = rz / _coldot(p, ap)
+        alpha = rz / cdot(p, ap)
         x[:, act] += alpha * p
         r -= alpha * ap
         fl += 2 * a.nnz + 6 * n
-        res_a = _colsum_abs(r) / nf
+        res_a = csum(r) / nf
         conv = _converged_mask(controls, res_a, res0_a)
         if conv.any():
             keep = retire(conv, it, converged=True)
@@ -247,7 +264,7 @@ def pcg_solve_multi(
             if act.size == 0:
                 break
         z = precond(r)
-        rz_new = _coldot(r, z)
+        rz_new = cdot(r, z)
         beta = rz_new / rz
         p = z + beta * p
         rz = rz_new

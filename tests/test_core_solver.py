@@ -176,6 +176,29 @@ class TestDeepFlameSolver:
         assert wl["pde_flops_per_cell"] > 100
         assert wl["n_cells"] == 512
 
+    def test_measure_workload_does_not_perturb_state(self, mech):
+        """Calibration runs on a snapshot: a run() after
+        measure_workload() must match a run() on a fresh solver."""
+        def fresh():
+            return DeepFlameSolver(build_tgv_case(n=8, mech=mech),
+                                   properties=IdealGasProperties(mech),
+                                   chemistry=NoChemistry(), **self.CTL)
+
+        probed = fresh()
+        before = probed.state_snapshot()
+        probed.measure_workload(1e-8)
+        after = probed.state_snapshot()
+        for key in ("y", "h", "rho", "u", "p", "phi"):
+            np.testing.assert_array_equal(before[key], after[key], err_msg=key)
+        assert probed.step_count == 0 and probed.current_time == 0.0
+
+        reference = fresh()
+        probed.run(2, 1e-8)
+        reference.run(2, 1e-8)
+        np.testing.assert_allclose(probed.y, reference.y, atol=1e-14)
+        np.testing.assert_allclose(probed.p.values, reference.p.values,
+                                   rtol=1e-12)
+
     @pytest.mark.slow
     def test_odenet_coupled_run(self, mech, tiny_odenet):
         """The full surrogate-coupled solver holds physical bounds."""

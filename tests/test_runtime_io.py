@@ -84,6 +84,32 @@ class TestComm:
         assert comm.allreduce(np.array([1.0, 2.0, 3.0, 4.0])) == 10.0
         assert comm.ledger.allreduces == 1
 
+    def test_allreduce_array_payload(self):
+        """Per-rank array contributions reduce elementwise (the form
+        distributed residual norms and blocked dot products use)."""
+        comm = SimulatedComm(3)
+        parts = np.arange(6.0).reshape(3, 2)
+        np.testing.assert_array_equal(comm.allreduce(parts),
+                                      parts.sum(axis=0))
+        assert comm.ledger.allreduces == 1
+        assert comm.ledger.allreduce_bytes == parts.nbytes
+
+    def test_allreduce_min_max_ops(self):
+        comm = SimulatedComm(2)
+        parts = np.array([[1.0, 5.0], [3.0, 2.0]])
+        np.testing.assert_array_equal(comm.allreduce(parts, op="max"),
+                                      [3.0, 5.0])
+        np.testing.assert_array_equal(comm.allreduce(parts, op="min"),
+                                      [1.0, 2.0])
+        assert comm.allreduce(np.array([4.0, -1.0]), op="min") == -1.0
+        with pytest.raises(ValueError):
+            comm.allreduce(parts, op="prod")
+
+    def test_allreduce_wrong_rank_count(self):
+        comm = SimulatedComm(3)
+        with pytest.raises(ValueError):
+            comm.allreduce(np.ones((2, 4)))
+
     def test_halo_time_scales_with_volume(self):
         t1 = halo_exchange_time(FUGAKU, 6, 1e4)
         t2 = halo_exchange_time(FUGAKU, 6, 1e6)
