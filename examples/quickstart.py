@@ -31,8 +31,16 @@ Krylov reductions over an in-process message fabric.  The run prints
 the serial-vs-decomposed max |delta| per step together with the
 measured per-step message/byte ledger.
 
+With ``--balance static|dynamic`` (requires ``--ranks``) the
+decomposed run additionally load-balances chemistry: stiff cells
+migrate to underloaded ranks through the same ledgered fabric
+(``repro.dist.ChemistryLoadBalancer``), and the run ends with the
+chemistry-balance ledger summary (cells migrated, migration traffic,
+executed vs static rank imbalance).
+
 Run:  python examples/quickstart.py [--chemistry direct] [--steps 5]
       python examples/quickstart.py --ranks 4
+      python examples/quickstart.py --ranks 4 --balance dynamic
 """
 
 import argparse
@@ -113,7 +121,14 @@ def build_chemistry(name: str, mech, case, dt):
 def run_decomposed(args, mech, dt: float) -> None:
     """Serial-vs-decomposed comparison: same case, N ranks, tight
     solver tolerances so the only differences left are floating-point
-    reduction order (and the block-local pressure preconditioner)."""
+    reduction order (and the block-local pressure preconditioner).
+
+    The decomposition is *executed*, not analytic: every halo
+    exchange, allreduce and (with ``--balance``) chemistry-migration
+    message actually flows through the in-process fabric and lands in
+    the ledger the summary prints.
+    """
+    from repro.chemistry import DirectBatchBackend
     from repro.dist import DecomposedSolver
 
     tight = dict(
@@ -121,12 +136,26 @@ def run_decomposed(args, mech, dt: float) -> None:
         pressure_controls=SolverControls(tolerance=1e-12,
                                          max_iterations=1000),
     )
+    # Chemistry balancing needs a batched backend on both sides of the
+    # comparison; the hot blob skews the stiffness so migration has
+    # something to balance on an otherwise-cold TGV.
+    balancing = args.balance != "none"
+
+    def case():
+        if balancing:
+            from repro.core import build_hotspot_tgv_case
+
+            return build_hotspot_tgv_case(n=args.n, mech=mech)
+        return build_tgv_case(n=args.n, mech=mech)
+
+    def chem():
+        return DirectBatchBackend(mech) if balancing else NoChemistry()
+
     print(f"\nDecomposed execution over {args.ranks} ranks "
           "(vs the serial solver, tight tolerances) ...")
-    serial = DeepFlameSolver(build_tgv_case(n=args.n, mech=mech),
-                             chemistry=NoChemistry(), **tight)
-    dist = DecomposedSolver(build_tgv_case(n=args.n, mech=mech), args.ranks,
-                            chemistry=NoChemistry(), **tight)
+    serial = DeepFlameSolver(case(), chemistry=chem(), **tight)
+    dist = DecomposedSolver(case(), args.ranks, chemistry=chem(),
+                            balance_chemistry=args.balance, **tight)
     stats = dist.decomp.stats()
     print(f"  partition: cells/rank {stats['cells_per_rank']}, "
           f"{stats['cut_faces']} cut faces, "
@@ -148,6 +177,19 @@ def run_decomposed(args, mech, dt: float) -> None:
     print(f"  cumulative ledger: {led.messages} messages / "
           f"{led.bytes_sent/1024:.1f} KiB halo traffic, "
           f"{led.allreduces} allreduces / {led.allreduce_bytes} B")
+    if balancing and dist.last_balance is not None:
+        rep = dist.last_balance
+        print(f"\nChemistry-balance ledger ({rep.mode}, last step):")
+        print(f"  migrated cells: {rep.n_migrated}, migration "
+              f"messages: {rep.messages} / {rep.bytes_sent/1024:.1f} KiB, "
+              f"allreduces: {rep.allreduces} / {rep.allreduce_bytes} B")
+        print(f"  rank imbalance (max/mean - 1): "
+              f"{rep.imbalance_static:.3f} static -> "
+              f"{rep.imbalance_executed:.3f} executed")
+        print("  per-rank work  owner:    "
+              + " ".join(f"{w:8.0f}" for w in rep.owner_work))
+        print("  per-rank work  executed: "
+              + " ".join(f"{w:8.0f}" for w in rep.executed_work))
 
 
 def main() -> None:
@@ -160,11 +202,23 @@ def main() -> None:
                          "(default: coupled)")
     ap.add_argument("--ranks", type=int, default=0,
                     help="also run the domain-decomposed executor over "
-                         "N ranks and report serial-vs-decomposed "
-                         "max |delta| + the message ledger (default: off)")
+                         "N ranks -- executed halo exchanges and "
+                         "allreduces through the in-process fabric, not "
+                         "an analytic model -- and report the "
+                         "serial-vs-decomposed max |delta| + the "
+                         "measured message ledger (default: off)")
+    ap.add_argument("--balance", choices=("none", "static", "dynamic"),
+                    default="none",
+                    help="chemistry load balancing for the decomposed "
+                         "run (with --ranks): migrate stiff cells to "
+                         "underloaded ranks and print the "
+                         "chemistry-balance ledger summary "
+                         "(default: none)")
     ap.add_argument("--steps", type=int, default=5)
     ap.add_argument("--n", type=int, default=16, help="cells per side")
     args = ap.parse_args()
+    if args.balance != "none" and args.ranks <= 0:
+        ap.error("--balance requires --ranks N")
 
     print(f"Building the supercritical TGV case ({args.n}^3 cells, 10 MPa)...")
     case = build_tgv_case(n=args.n)

@@ -6,7 +6,9 @@ Subpackages
 -----------
 ``chemistry``
     Detailed kinetics: 17-species/44-reaction LOX/CH4 mechanism,
-    NASA-7 thermo, stiff BDF/RK4/Rosenbrock integrators, reactors.
+    NASA-7 thermo, stiff BDF/RK4/Rosenbrock integrators, reactors,
+    the batched chemistry backends and the cell-migration mechanics
+    of the chemistry load balancer.
 ``thermo``
     Peng-Robinson / SRK real-fluid EoS, departure functions,
     high-pressure transport.
@@ -28,7 +30,8 @@ Subpackages
     tabulation, ODENet and PRNet surrogates, inference engine.
 ``dist``
     Domain-decomposed execution: subdomains with halo layers, packed
-    halo exchange, distributed blocked Krylov, the decomposed solver.
+    halo exchange, distributed blocked Krylov, the decomposed solver,
+    dynamic chemistry load balancing across ranks.
 ``runtime``
     Machine models of Sunway/Fugaku/LS, communication cost model,
     calibrated performance model, scaling drivers.
@@ -39,7 +42,7 @@ Subpackages
     The DeepFlame solver and the TGV / rocket cases.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 from . import constants  # noqa: F401
 

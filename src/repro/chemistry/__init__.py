@@ -16,6 +16,7 @@ from .reactor import (
     mixture_line,
     premixed_state,
 )
+from .redistribute import MigrationPlan, plan_migration
 from .species import Nasa7Poly, Species, fit_nasa7
 
 # Imported after the leaf modules: the backends subpackage reaches into
@@ -55,6 +56,7 @@ __all__ = [
     "ConstantPressureReactor",
     "KineticsEvaluator",
     "Mechanism",
+    "MigrationPlan",
     "Nasa7Poly",
     "Reaction",
     "ReactorState",
@@ -66,5 +68,6 @@ __all__ = [
     "integrate_rk4",
     "load_mechanism",
     "mixture_line",
+    "plan_migration",
     "premixed_state",
 ]

@@ -51,6 +51,7 @@ class BackendStats:
 
     @property
     def total_work(self) -> float:
+        """Sum of per-cell work over the batch (0 for an empty batch)."""
         return float(self.work_per_cell.sum()) if self.work_per_cell.size else 0.0
 
     @property
@@ -65,6 +66,7 @@ class BackendStats:
 
     @property
     def cells_per_second(self) -> float:
+        """Throughput of the advance (0 when no wall time was recorded)."""
         return self.n_cells / self.wall_time if self.wall_time > 0 else 0.0
 
 
@@ -83,6 +85,25 @@ class ChemistryBackend(ABC):
         dt: float,
     ) -> tuple[np.ndarray, np.ndarray, BackendStats]:
         """Advance every cell by ``dt``; returns ``(Y_new, T_new, stats)``."""
+
+    def work_estimate(
+        self,
+        y: np.ndarray,
+        t: np.ndarray,
+        p: np.ndarray | float,
+        dt: float,
+    ) -> np.ndarray:
+        """Cheap a-priori per-cell work estimate for one ``advance``.
+
+        Used by the chemistry load balancer to seed its EMA before any
+        work has been *measured* -- it must be far cheaper than the
+        advance itself and must not mutate thermochemical state.  The
+        base implementation assumes uniform cost (one unit per cell);
+        stiffness-aware backends override it with a graded estimate in
+        the same units as their ``work_per_cell`` counters.
+        """
+        y, t, p = self._as_batch(y, t, p)
+        return np.ones(t.shape[0])
 
     # ----------------------------------------------------------------
     @staticmethod

@@ -178,6 +178,29 @@ class DirectBatchBackend(ChemistryBackend):
                / np.maximum(np.abs(y), 1e-3)).max(axis=1)
         return np.maximum(z_t, z_y)
 
+    def work_estimate(self, y, t, p, dt) -> np.ndarray:
+        """Graded per-cell work estimate from the stiffness classifier.
+
+        One batched RHS evaluation prices every cell with the step
+        count of the sub-batch it *would* land in (including the
+        half-step validation re-integration); cells headed for the BDF
+        fallback get twice the largest graded bin.  Same units as the
+        measured ``work_per_cell``, so the load balancer can mix
+        estimates and measurements in one EMA.
+        """
+        y, t, p = self._as_batch(y, t, p)
+        if t.size == 0:
+            return np.zeros(0)
+        z = self.stiffness_indicator(y, t, p, dt)
+        est = np.empty(z.shape[0])
+        val = 1.5 if self.validate else 1.0
+        for method, n_steps, idx in self._classify(z):
+            if method == "bdf":
+                est[idx] = 2.0 * val * self.ros2_bins[-1][1]
+            else:
+                est[idx] = val * n_steps
+        return est
+
     def _classify(self, z: np.ndarray) -> list[tuple[str, int, np.ndarray]]:
         """Partition cells into ``(method, n_steps, cell_indices)``."""
         groups: list[tuple[str, int, np.ndarray]] = []
@@ -198,6 +221,14 @@ class DirectBatchBackend(ChemistryBackend):
 
     # ------------------------------------------------------------------
     def advance(self, y, t, p, dt):
+        """Advance the batch via graded RK4/ROS2 sub-batches.
+
+        Cells are classified by the stiffness indicator, integrated
+        per sub-batch (with half-step validation when enabled), and
+        escalated to the per-cell BDF fallback where validation fails;
+        returns ``(Y_new, T_new, stats)`` with per-sub-batch work
+        accounting.
+        """
         y, t, p = self._as_batch(y, t, p)
         n = t.shape[0]
         self._rhs_evals = self._jac_evals = self._linear_solves = 0

@@ -62,7 +62,29 @@ class HybridBackend(ChemistryBackend):
             mask &= z <= self.z_max
         return mask
 
+    def work_estimate(self, y, t, p, dt) -> np.ndarray:
+        """Split-aware per-cell work estimate.
+
+        Surrogate-routed cells cost one uniform inference unit; the
+        rest inherit the direct backend's graded stiffness estimate.
+        """
+        y, t, p = self._as_batch(y, t, p)
+        if t.size == 0:
+            return np.zeros(0)
+        mask = self.split_mask(y, t, p, dt)
+        est = np.ones(t.shape[0])
+        idx_d = np.flatnonzero(~mask)
+        if idx_d.size:
+            est[idx_d] = self.direct.work_estimate(y[idx_d], t[idx_d],
+                                                   p[idx_d], dt)
+        return est
+
     def advance(self, y, t, p, dt):
+        """Advance the batch through the surrogate/direct split.
+
+        Returns ``(Y_new, T_new, stats)`` with a per-child
+        ``stats.per_backend`` breakdown for the load-balance metrics.
+        """
         y, t, p = self._as_batch(y, t, p)
         n = t.shape[0]
         t0 = time.perf_counter()

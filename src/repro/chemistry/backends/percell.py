@@ -38,6 +38,7 @@ class PerCellBDFBackend(ChemistryBackend):
         kin = self.kinetics
 
         def rhs(_t, state):
+            """Constant-pressure reactor RHS for one cell's state."""
             temp = max(state[0], self.t_floor)
             y = np.clip(state[1:], 0.0, 1.0)
             dtdt, dydt = kin.constant_pressure_rhs(
@@ -50,6 +51,7 @@ class PerCellBDFBackend(ChemistryBackend):
         kin = self.kinetics
 
         def jac(_t, state):
+            """Finite-difference reactor Jacobian for one cell's state."""
             n = state.size
             eps = np.sqrt(np.finfo(float).eps)
             dy = eps * np.maximum(np.abs(state), 1e-8)
@@ -66,6 +68,12 @@ class PerCellBDFBackend(ChemistryBackend):
 
     # ------------------------------------------------------------------
     def advance(self, y, t, p, dt):
+        """Advance every cell with its own stiff BDF solve.
+
+        Returns ``(Y_new, T_new, stats)``; ``stats.work_per_cell``
+        carries each cell's accepted step count -- the raw signal of
+        the paper's chemistry load imbalance.
+        """
         y, t, p = self._as_batch(y, t, p)
         n = t.shape[0]
         t_new = t.copy()

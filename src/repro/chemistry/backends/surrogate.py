@@ -47,6 +47,12 @@ class SurrogateBackend(ChemistryBackend):
         self.engine = engine
 
     def advance(self, y, t, p, dt):
+        """Advance the batch by one ODENet inference.
+
+        Returns ``(Y_new, T_in, stats)`` -- temperature passes through
+        unchanged (the solver re-derives it from ``(h, p, Y)``) and
+        work is uniform at one unit per cell.
+        """
         y, t, p = self._as_batch(y, t, p)
         n = t.shape[0]
         t0 = time.perf_counter()

@@ -1,0 +1,274 @@
+"""Cell migration for chemistry load balancing.
+
+Stiff per-cell chemistry makes rank-level work skew the dominant
+strong-scaling loss under a static domain decomposition (the paper's
+Fig. 13 analysis; :mod:`repro.runtime.load_balance` measures it).  This
+module provides the *mechanics* that let the decomposed executor act on
+it:
+
+* :func:`plan_migration` -- a deterministic greedy bin-pack that turns
+  per-rank per-cell work estimates into a :class:`MigrationPlan`
+  (which donor cells move to which recipient rank),
+* :func:`pack_state` / :func:`unpack_state` -- the ``(T, p, Y)`` wire
+  format of a migrated cell batch (one contiguous float64 block per
+  donor/recipient pair, so one ledgered message each),
+* :func:`pack_result` / :func:`unpack_result` -- the return leg:
+  advanced mass fractions, temperatures and the *measured* per-cell
+  work, which feeds the balancer's EMA estimates back on the owner.
+
+Policy (when to migrate, how the estimates evolve) lives in
+:class:`repro.dist.balance.ChemistryLoadBalancer`; this module is pure
+mechanism and has no communicator of its own -- callers pass packed
+payloads through :meth:`repro.runtime.comm.SimulatedComm.halo_exchange`
+so every migration byte is ledger-accounted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "MigrationPlan",
+    "plan_migration",
+    "pack_state",
+    "unpack_state",
+    "pack_result",
+    "unpack_result",
+]
+
+
+@dataclass
+class MigrationPlan:
+    """Which cells move where for one balanced chemistry stage.
+
+    Attributes
+    ----------
+    moves:
+        ``(src_rank, dst_rank) -> local cell indices on src`` (sorted
+        ascending, so the wire order is reproducible).  Pairs with no
+        cells are absent.
+    n_ranks:
+        Number of ranks the plan spans.
+    """
+
+    moves: dict[tuple[int, int], np.ndarray] = field(default_factory=dict)
+    n_ranks: int = 0
+
+    @property
+    def n_migrated(self) -> int:
+        """Total number of cells that change executing rank."""
+        return int(sum(idx.size for idx in self.moves.values()))
+
+    @property
+    def is_noop(self) -> bool:
+        """True when no cell moves (the zero-imbalance fast path)."""
+        return not self.moves
+
+    def moved_from(self, rank: int) -> np.ndarray:
+        """All local cell indices leaving ``rank`` (sorted, unique)."""
+        out = [idx for (src, _), idx in self.moves.items() if src == rank]
+        if not out:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(out))
+
+    def pairs_from(self, rank: int) -> list[tuple[int, np.ndarray]]:
+        """``(dst, indices)`` pairs leaving ``rank`` in ascending dst order."""
+        return sorted(
+            ((dst, idx) for (src, dst), idx in self.moves.items()
+             if src == rank),
+            key=lambda t: t[0])
+
+    def sources_into(self, rank: int) -> list[int]:
+        """Donor ranks sending cells into ``rank`` (ascending)."""
+        return sorted(src for (src, dst) in self.moves if dst == rank)
+
+
+def _grade_bins(work: np.ndarray, n_bins: int) -> list[np.ndarray]:
+    """Split one rank's cells into stiffness-graded migration bins.
+
+    Cells are ordered by descending work estimate (stable; ties broken
+    by ascending cell index) and chunked into at most ``n_bins``
+    contiguous groups, so the first bin holds the stiffest cells.  Bins
+    are the atomic unit the greedy packer assigns to recipients.
+    """
+    order = np.argsort(-work, kind="stable")
+    n_bins = max(1, min(n_bins, order.size))
+    return [chunk for chunk in np.array_split(order, n_bins)
+            if chunk.size]
+
+
+def plan_migration(
+    work_per_rank: list[np.ndarray],
+    n_bins: int = 8,
+    tolerance: float = 0.05,
+    max_move_fraction: float = 0.5,
+    totals: np.ndarray | None = None,
+) -> MigrationPlan:
+    """Greedy bin-pack of surplus chemistry work onto underloaded ranks.
+
+    Two stages, mirroring what a real SPMD implementation can know:
+
+    1. **quotas** -- from the per-rank *totals* alone (the only
+       globally shared quantity, one allreduce on a real machine),
+       every rank deterministically derives the same
+       ``(src, dst) -> work quota`` assignment: donors in descending
+       surplus order pour into the most-starved recipients;
+    2. **cell selection** -- each donor fills its quotas from its own
+       stiffness-graded bins (donor-*local* information), heaviest
+       bins first, splitting a bin at cell granularity when a quota or
+       the remaining budget is smaller than the bin, and never
+       exceeding its ``max_move_fraction`` budget.
+
+    Parameters
+    ----------
+    work_per_rank:
+        Per-rank arrays of per-cell work estimates (one entry per owned
+        cell, any consistent unit).
+    n_bins:
+        Maximum number of stiffness-graded bins each donor's cells are
+        split into.  Bins are the preferred migration unit but are
+        split at cell granularity against small quotas, so ``n_bins``
+        tunes how eagerly whole stiff groups move, not the minimum
+        move size.
+    tolerance:
+        Relative imbalance (max/mean - 1) below which the plan is a
+        no-op -- migrating to chase the last few percent costs more in
+        messages than it recovers.
+    max_move_fraction:
+        Hard cap on the fraction of a donor's total work that may
+        leave it in one stage (keeps a rank from shipping its whole
+        subdomain).
+    totals:
+        Optional pre-shared per-rank totals (e.g. the balancer's
+        allreduce result); computed from ``work_per_rank`` when absent.
+
+    Returns
+    -------
+    MigrationPlan
+        Deterministic for a fixed work vector: all orderings use stable
+        sorts with explicit index tie-breaks, so tests can pin plans.
+    """
+    work_per_rank = [np.asarray(w, dtype=float) for w in work_per_rank]
+    nranks = len(work_per_rank)
+    plan = MigrationPlan(n_ranks=nranks)
+    if totals is None:
+        totals = np.array([w.sum() for w in work_per_rank])
+    totals = np.asarray(totals, dtype=float)
+    mean = totals.mean() if nranks else 0.0
+    if nranks < 2 or mean <= 0 or (totals.max() / mean - 1.0) <= tolerance:
+        return plan
+
+    # -- stage 1: (src, dst) work quotas from the shared totals --------
+    surplus = totals - mean           # >0 on donors
+    deficit = np.maximum(mean - totals, 0.0)
+    budget = np.minimum(np.maximum(surplus, 0.0),
+                        max_move_fraction * totals)
+    eps = 1e-12 * mean
+    quotas: dict[tuple[int, int], float] = {}
+    for src in np.argsort(-surplus, kind="stable"):
+        rem = float(min(surplus[src], budget[src]))
+        while rem > eps and deficit.max() > eps:
+            dst = int(np.argmax(deficit))
+            q = min(rem, float(deficit[dst]))
+            quotas[(int(src), dst)] = quotas.get((int(src), dst), 0.0) + q
+            rem -= q
+            deficit[dst] -= q
+
+    # -- stage 2: donors fill their quotas with graded bins ------------
+    # Bins move whole when they fit; when a quota (or the remaining
+    # budget) is smaller than a bin, the bin is split at cell
+    # granularity -- a prefix in graded order -- so small surpluses
+    # still migrate.  The budget stays a hard cap throughout.
+    moves: dict[tuple[int, int], list[np.ndarray]] = {}
+    for src in sorted({s for s, _ in quotas}):
+        pair_rem = {dst: q for (s, dst), q in quotas.items() if s == src}
+        budget_rem = float(budget[src])
+        for cells in _grade_bins(work_per_rank[src], n_bins):
+            while cells.size and budget_rem > eps \
+                    and max(pair_rem.values()) > eps:
+                dst = max(pair_rem, key=lambda d: (pair_rem[d], -d))
+                cap = min(budget_rem, pair_rem[dst])
+                cum = np.cumsum(work_per_rank[src][cells])
+                k = int(np.searchsorted(cum, cap + eps, side="right"))
+                if k == 0:
+                    # One cell exceeds the quota: still move it while
+                    # that reduces the max deviation (w < 2*quota) and
+                    # the budget allows it.
+                    w0 = float(cum[0])
+                    if w0 <= 2.0 * pair_rem[dst] and w0 <= budget_rem:
+                        k = 1
+                    else:
+                        break
+                taken = float(cum[k - 1])
+                moves.setdefault((src, dst), []).append(cells[:k])
+                pair_rem[dst] -= taken
+                budget_rem -= taken
+                cells = cells[k:]
+
+    plan.moves = {
+        pair: np.sort(np.concatenate(chunks)).astype(np.int64)
+        for pair, chunks in sorted(moves.items())
+    }
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Wire formats.  One packed float64 block per (src, dst) pair keeps the
+# ledger entry per migration at exactly one message, mirroring how the
+# halo exchanger packs multi-field refreshes.
+
+def pack_state(t: np.ndarray, p: np.ndarray, y: np.ndarray,
+               idx: np.ndarray) -> np.ndarray:
+    """Pack donor-cell thermochemical state rows for the wire.
+
+    Parameters
+    ----------
+    t, p, y:
+        The donor rank's owned-cell temperature ``(n,)``, pressure
+        ``(n,)`` and mass fractions ``(n, ns)``.
+    idx:
+        Local indices of the migrating cells.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(k, 2 + ns)`` block: columns are ``T, p, Y...``.
+    """
+    return np.concatenate(
+        [t[idx, None], p[idx, None], y[idx]], axis=1)
+
+
+def unpack_state(payload: np.ndarray) -> tuple[np.ndarray, np.ndarray,
+                                               np.ndarray]:
+    """Invert :func:`pack_state`; returns ``(T, p, Y)`` views."""
+    return payload[:, 0], payload[:, 1], payload[:, 2:]
+
+
+def pack_result(y_new: np.ndarray, t_new: np.ndarray,
+                work: np.ndarray) -> np.ndarray:
+    """Pack the return leg of a migrated batch.
+
+    Parameters
+    ----------
+    y_new, t_new:
+        Advanced mass fractions ``(k, ns)`` and temperatures ``(k,)``.
+    work:
+        Measured per-cell work ``(k,)`` from the executing backend's
+        :class:`~repro.chemistry.backends.BackendStats` -- shipped back
+        so the *owner* can update its EMA estimate for these cells.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(k, ns + 2)`` block: columns are ``T, work, Y...``.
+    """
+    return np.concatenate(
+        [t_new[:, None], work[:, None], y_new], axis=1)
+
+
+def unpack_result(payload: np.ndarray) -> tuple[np.ndarray, np.ndarray,
+                                                np.ndarray]:
+    """Invert :func:`pack_result`; returns ``(Y_new, T_new, work)``."""
+    return payload[:, 2:], payload[:, 0], payload[:, 1]

@@ -2,7 +2,12 @@
 implicit FV transport with ODENet chemistry and PRNet real-fluid
 properties, plus the TGV / rocket case builders."""
 
-from .cases import Case, build_rocket_case, build_tgv_case
+from .cases import (
+    Case,
+    build_hotspot_tgv_case,
+    build_rocket_case,
+    build_tgv_case,
+)
 from .chemistry_source import (
     BackendChemistry,
     BatchedChemistry,
@@ -36,6 +41,7 @@ __all__ = [
     "PropertySet",
     "StepDiagnostics",
     "StepTimings",
+    "build_hotspot_tgv_case",
     "build_rocket_case",
     "build_tgv_case",
 ]

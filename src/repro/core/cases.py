@@ -20,7 +20,8 @@ from ..mesh.rocket import build_rocket_mesh
 from ..mesh.structured import build_box_mesh
 from ..mesh.unstructured import UnstructuredMesh
 
-__all__ = ["Case", "build_tgv_case", "build_rocket_case"]
+__all__ = ["Case", "build_tgv_case", "build_hotspot_tgv_case",
+           "build_rocket_case"]
 
 
 @dataclass
@@ -74,6 +75,31 @@ def build_tgv_case(
     vel = VolField("U", mesh, u)
     p = VolField("p", mesh, np.full(mesh.n_cells, pressure))
     return Case("tgv", mesh, mech, vel, p, yfr, temp, {}, {})
+
+
+def build_hotspot_tgv_case(
+    n: int = 16,
+    t_hot: float = 1600.0,
+    radius: float = 0.35,
+    mech: Mechanism | None = None,
+    **tgv_kwargs,
+) -> Case:
+    """TGV with an igniting hot blob near one corner.
+
+    The stiffness-skewed workload of the chemistry load-balance tests
+    and bench: chemistry cost concentrates in the blob's cells (they
+    hit the graded ROS2/BDF paths while the cold bulk stays frozen),
+    so a static domain decomposition cannot balance rank-level
+    chemistry work.  ``radius`` is the blob size as a fraction of the
+    normalized corner distance; remaining keywords go to
+    :func:`build_tgv_case`.
+    """
+    case = build_tgv_case(n=n, mech=mech, **tgv_kwargs)
+    c = case.mesh.cell_centres
+    lo = c.min(axis=0)
+    r = np.linalg.norm((c - lo) / (c.max(axis=0) - lo), axis=1)
+    case.temperature[r < radius] = float(t_hot)
+    return case
 
 
 def build_rocket_case(

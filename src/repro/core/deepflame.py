@@ -5,8 +5,10 @@ Per time step:
 
 1. **Properties** -- ``(h, p, Y) -> rho, T, mu, alpha, cp`` via PRNet
    or the direct Peng-Robinson path ("DNN" component),
-2. **Chemistry** -- advance Y over dt via ODENet or per-cell BDF
-   (operator splitting at constant enthalpy; also "DNN"),
+2. **Chemistry** -- advance Y over dt through a batched backend
+   (``repro.chemistry.backends``: ODENet surrogate, per-cell BDF,
+   graded direct, or hybrid; operator splitting at constant
+   enthalpy; also "DNN"),
 3. **Species transport** -- implicit ddt + div - laplacian; all
    n_species equations share one operator, so by default they are
    assembled once and solved as a single blocked (multi-RHS) Krylov
@@ -54,7 +56,7 @@ from ..fv.operators import (
 )
 from ..solvers.controls import SolverControls
 from .cases import Case
-from .chemistry_source import BackendChemistry, NoChemistry
+from .chemistry_source import BackendChemistry, ChemistryStats, NoChemistry
 from .properties import DirectRealFluidProperties
 
 __all__ = ["StepTimings", "StepDiagnostics", "DeepFlameSolver"]
@@ -178,9 +180,11 @@ class DeepFlameSolver:
         With ``cells``, only those rows of the property arrays are
         recomputed.  The decomposed driver restricts the evaluation to
         a subdomain's owned rows and fills the ghost rows by halo
-        exchange: the evaluators' Newton loops use batch-global
-        convergence criteria, so recomputing a ghost cell in a
-        different batch would not reproduce its owner's value exactly.
+        exchange: the evaluators' Newton loops converge per cell (so a
+        recomputed ghost would match its owner to rounding), but only
+        the owner's actual value keeps both sides of a cut face
+        bitwise-consistent -- and skipping the ghost rows avoids
+        redundant work.
         """
         t0 = time.perf_counter()
         if cells is None:
@@ -218,6 +222,33 @@ class DeepFlameSolver:
                 self.y[cells], dt)
             self.y[cells] = np.asarray(y_new, dtype=float)
         tm.dnn += time.perf_counter() - t0
+
+    def adopt_chemistry(self, y_new: np.ndarray, cells=slice(None),
+                        stats=None) -> None:
+        """Adopt an externally integrated chemistry result.
+
+        The decomposed driver's *balanced* chemistry stage
+        (:class:`repro.dist.ChemistryLoadBalancer`) may integrate some
+        of this rank's cells on other ranks; the scattered-back mass
+        fractions enter the solver here so every later stage is
+        oblivious to where chemistry actually ran.
+
+        Parameters
+        ----------
+        y_new:
+            Advanced mass fractions for ``cells``.
+        cells:
+            Row selector of the cells being adopted (all by default).
+        stats:
+            Optional :class:`~repro.chemistry.backends.BackendStats`
+            over the union batch this rank *executed*; refreshes the
+            chemistry adapter's diagnostic counters.
+        """
+        self.y[cells] = np.asarray(y_new, dtype=float)
+        if stats is not None and isinstance(self.chemistry, BackendChemistry):
+            self.chemistry.last_backend_stats = stats
+            self.chemistry.last_stats = ChemistryStats(
+                stats.n_cells, stats.work_per_cell, stats.wall_time)
 
     # -- assembly / finish stages ------------------------------------------
     def assemble_species_eqn(self, dt: float, rho_old: np.ndarray,

@@ -84,12 +84,19 @@ class IdealGasProperties:
         y = np.atleast_2d(y)
         t = np.full(h.shape, 1000.0) if t_guess is None else \
             np.array(np.broadcast_to(t_guess, h.shape), dtype=float)
-        for _ in range(30):
+        # Cells freeze the moment *their own* relative criterion holds
+        # (a batch-global criterion, or extra Newton updates on
+        # already-converged cells, would make a cell's converged T
+        # depend on what else shares its batch -- breaking
+        # serial-vs-decomposed agreement when one rank holds a hot
+        # region).
+        for _ in range(40):
             resid = self.mech.h_mass_mixture(t, y) - h
-            cp = self.mech.cp_mass_mixture(t, y)
-            t = np.clip(t - resid / cp, 60.0, 5000.0)
-            if np.max(np.abs(resid)) < 1e-3 * np.max(np.abs(h) + 1e3):
+            done = np.abs(resid) <= 1e-13 * (np.abs(h) + 1e3)
+            if done.all():
                 break
+            cp = self.mech.cp_mass_mixture(t, y)
+            t = np.where(done, t, np.clip(t - resid / cp, 60.0, 5000.0))
         w = self.mech.mean_molecular_weight(y)
         p_arr = np.broadcast_to(np.asarray(p, dtype=float), t.shape)
         rho = p_arr * w / (R_UNIVERSAL * t)

@@ -19,17 +19,25 @@ Layers:
 * :mod:`.krylov` -- :class:`DistributedSystem`: the global operator
   (per-rank LDU blocks + halo-exchanging matvec + allreduce
   reductions) fed to the *unmodified* blocked Krylov solvers;
+* :mod:`.balance` -- :class:`ChemistryLoadBalancer`: migrates stiff
+  chemistry cells between ranks through packed, ledgered messages so
+  executed rank-level chemistry work stays balanced;
 * :mod:`.solver` -- :class:`DecomposedSolver`: drives one
   :class:`~repro.core.DeepFlameSolver` per rank through the shared
-  physics stages.
+  physics stages (``balance_chemistry="none"|"static"|"dynamic"``
+  selects the chemistry-balancing policy).
 """
 
+from .balance import BALANCE_MODES, BalanceReport, ChemistryLoadBalancer
 from .decompose import Decomposition, Subdomain
 from .halo import HaloExchanger
 from .krylov import DistributedSystem, solve_distributed
 from .solver import DecomposedSolver
 
 __all__ = [
+    "BALANCE_MODES",
+    "BalanceReport",
+    "ChemistryLoadBalancer",
     "DecomposedSolver",
     "Decomposition",
     "DistributedSystem",

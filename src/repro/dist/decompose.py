@@ -75,14 +75,17 @@ class Subdomain:
 
     @property
     def n_halo(self) -> int:
+        """Number of ghost cells in this rank's halo layer."""
         return self.halo_global.size
 
     @property
     def n_local(self) -> int:
+        """Total local cells (owned + halo)."""
         return self.n_owned + self.n_halo
 
     @property
     def neighbours(self) -> list[int]:
+        """Ranks this subdomain exchanges halo data with (ascending)."""
         return sorted(self.send)
 
     @property

@@ -72,6 +72,7 @@ class DistributedSystem:
              for r in range(len(subs))], axis=0)
 
     def coldot(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Per-column dot products via per-rank partials + allreduce."""
         parts = np.stack([
             np.einsum("ij,ij->j", a[self.decomp.rank_slice(r)],
                       b[self.decomp.rank_slice(r)])
@@ -79,6 +80,7 @@ class DistributedSystem:
         return np.atleast_1d(self.comm.allreduce(parts, op="sum"))
 
     def colsum_abs(self, r: np.ndarray) -> np.ndarray:
+        """Per-column L1 norms via per-rank partials + allreduce."""
         parts = np.stack([
             np.abs(r[self.decomp.rank_slice(q)]).sum(axis=0)
             for q in range(self.decomp.nparts)])
@@ -95,6 +97,7 @@ class DistributedSystem:
         r_diag = 1.0 / diag
 
         def apply(r: np.ndarray) -> np.ndarray:
+            """Scale (stacked) residual columns by the inverse diagonal."""
             return r * (r_diag[:, None] if r.ndim == 2 else r_diag)
 
         return apply
@@ -106,6 +109,7 @@ class DistributedSystem:
                 for m, s in zip(self.mats, self.decomp.subdomains)]
 
         def apply(r: np.ndarray) -> np.ndarray:
+            """Apply each rank's DIC factor to its stacked rows."""
             return np.concatenate(
                 [pres[q].apply_multi(r[self.decomp.rank_slice(q)].copy())
                  for q in range(self.decomp.nparts)], axis=0)

@@ -11,7 +11,12 @@ cannot do alone --
   pressure gradient and the PISO ``1/A``), and
 * **distributed Krylov solves**: the per-rank equations become one
   global system (:class:`~repro.dist.krylov.DistributedSystem`) whose
-  matvecs halo-exchange and whose reductions allreduce.
+  matvecs halo-exchange and whose reductions allreduce, and
+* optionally, **chemistry load balancing**
+  (``balance_chemistry="static"|"dynamic"``): stiff cells migrate to
+  underloaded ranks through the same ledgered fabric before each
+  chemistry stage (:class:`~repro.dist.balance.ChemistryLoadBalancer`),
+  with :attr:`last_balance` reporting what moved.
 
 Because the local assemblies reproduce the owned rows of the global
 operators exactly (see :mod:`.decompose`), the decomposed step agrees
@@ -28,11 +33,13 @@ import time
 import numpy as np
 
 from ..core.cases import Case
+from ..core.chemistry_source import BackendChemistry
 from ..core.deepflame import DeepFlameSolver, StepDiagnostics, StepTimings
 from ..fv.fields import VolField
 from ..fv.operators import fvc_grad
 from ..runtime.comm import SimulatedComm
 from ..solvers.controls import SolverControls
+from .balance import BALANCE_MODES, BalanceReport, ChemistryLoadBalancer
 from .decompose import Decomposition
 from .halo import HaloExchanger
 from .krylov import DistributedSystem, solve_distributed
@@ -75,7 +82,13 @@ class DecomposedSolver:
             tolerance=1e-9, rel_tol=1e-4, max_iterations=500),
         n_correctors: int = 2,
         solve_momentum: bool = True,
+        balance_chemistry: str = "none",
+        balance_kwargs: dict | None = None,
     ):
+        if balance_chemistry not in BALANCE_MODES:
+            raise ValueError(
+                f"unknown balance_chemistry {balance_chemistry!r}; "
+                f"use one of {BALANCE_MODES}")
         self.case = case
         self.mech = case.mech
         self.decomp = Decomposition.from_mesh(case.mesh, nparts,
@@ -102,20 +115,33 @@ class DecomposedSolver:
         ]
         # The rank constructors evaluated properties/enthalpy over
         # local-plus-halo batches; re-sync the ghost rows from their
-        # owners (batch-global Newton criteria make recomputed ghost
-        # values batch-dependent) and rebuild the face mass flux so
-        # every cut face starts bitwise-consistent across its pair.
+        # owners (per-cell Newton convergence makes a recomputed ghost
+        # match its owner to rounding, but only the owner's actual
+        # value is *bitwise* identical) and rebuild the face mass flux
+        # so every cut face starts bitwise-consistent across its pair.
         self._refresh([[*(getattr(r.props, f) for f in _PROP_FIELDS), r.h]
                        for r in self.ranks])
         for r, sub in self._pairs():
             r.rho[sub.n_owned:] = r.props.rho[sub.n_owned:]
             r.phi = r._face_mass_flux()
 
+        self.balancer: ChemistryLoadBalancer | None = None
+        if balance_chemistry != "none":
+            if not all(isinstance(r.chemistry, BackendChemistry)
+                       for r in self.ranks):
+                raise ValueError(
+                    "balance_chemistry requires a batched chemistry "
+                    "backend (got a non-backend chemistry adapter)")
+            self.balancer = ChemistryLoadBalancer(
+                self.decomp, self.comm, mode=balance_chemistry,
+                **(balance_kwargs or {}))
+
         self.current_time = 0.0
         self.step_count = 0
         self.last_timings = StepTimings()
         self.last_diag: StepDiagnostics | None = None
         self.last_comm: dict | None = None
+        self.last_balance: BalanceReport | None = None
 
     # -- helpers --------------------------------------------------------
     def _pairs(self):
@@ -163,9 +189,14 @@ class DecomposedSolver:
         for r, sub in self._pairs():
             r.rho[sub.n_owned:] = r.props.rho[sub.n_owned:]
 
-        # (2) chemistry on owned rows only (never recomputed for ghosts)
-        for r, sub in self._pairs():
-            r.stage_chemistry(dt, tm, cells=sub.owned)
+        # (2) chemistry on owned rows only (never recomputed for
+        # ghosts); with a balancer, stiff cells migrate to underloaded
+        # ranks first and their advanced state is scattered back
+        if self.balancer is not None:
+            self.last_balance = self.balancer.advance(self.ranks, dt, tm)
+        else:
+            for r, sub in self._pairs():
+                r.stage_chemistry(dt, tm, cells=sub.owned)
         self._refresh([r.y for r in self.ranks])
 
         # (3) species transport: one distributed blocked solve
@@ -290,6 +321,7 @@ class DecomposedSolver:
 
     # -- multi-step driver / gathers ------------------------------------
     def run(self, n_steps: int, dt: float) -> list[StepDiagnostics]:
+        """Advance ``n_steps`` collective steps of size ``dt``."""
         return [self.step(dt) for _ in range(n_steps)]
 
     def gather(self, name: str) -> np.ndarray:

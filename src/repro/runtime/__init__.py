@@ -10,6 +10,8 @@ from .comm import (
 )
 from .load_balance import (
     chemistry_balance_report,
+    per_rank_imbalance,
+    price_balance_report,
     rank_imbalance,
     work_imbalance,
     workload_with_chemistry,
@@ -45,6 +47,8 @@ __all__ = [
     "allreduce_time",
     "chemistry_balance_report",
     "halo_exchange_time",
+    "per_rank_imbalance",
+    "price_balance_report",
     "rank_imbalance",
     "strong_scaling",
     "tgv_workload",

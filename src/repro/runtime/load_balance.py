@@ -24,8 +24,10 @@ from .perf_model import WorkloadSpec
 __all__ = [
     "work_imbalance",
     "rank_imbalance",
+    "per_rank_imbalance",
     "chemistry_balance_report",
     "workload_with_chemistry",
+    "price_balance_report",
 ]
 
 
@@ -55,6 +57,44 @@ def rank_imbalance(work_per_cell: np.ndarray, n_ranks: int,
     if mean == 0:
         return 0.0
     return float(per_rank.max() / mean - 1.0)
+
+
+def per_rank_imbalance(work_per_rank: np.ndarray) -> float:
+    """max/mean - 1 of already-aggregated per-rank work totals.
+
+    The *executed* counterpart of :func:`rank_imbalance`: instead of
+    predicting what a static ownership map would cost, it scores the
+    per-rank totals a :class:`~repro.dist.BalanceReport` measured after
+    cell migration.
+    """
+    per_rank = np.asarray(work_per_rank, dtype=float)
+    if per_rank.size == 0 or per_rank.mean() <= 0:
+        return 0.0
+    return float(per_rank.max() / per_rank.mean() - 1.0)
+
+
+def price_balance_report(machine, report, n_ranks: int) -> dict:
+    """Alpha-beta price of one balanced chemistry stage's traffic.
+
+    Charges the *measured* migration messages/bytes and the work-total
+    allreduce of a :class:`~repro.dist.BalanceReport` to ``machine``'s
+    fabric, exactly as the executed strong-scaling bench prices halo
+    traffic.  Returns ``{"migration_s", "allreduce_s", "total_s"}``.
+    """
+    from .comm import allreduce_time, halo_exchange_time
+
+    t_mig = 0.0
+    if report.messages:
+        t_mig = halo_exchange_time(
+            machine, report.messages / n_ranks,
+            report.bytes_sent / report.messages)
+    t_ar = 0.0
+    if report.allreduces:
+        t_ar = report.allreduces * allreduce_time(
+            machine, n_ranks,
+            report.allreduce_bytes / report.allreduces)
+    return {"migration_s": t_mig, "allreduce_s": t_ar,
+            "total_s": t_mig + t_ar}
 
 
 def chemistry_balance_report(stats) -> dict:

@@ -105,19 +105,26 @@ class RealFluidMixture:
         )
         t_lo = np.full_like(t, 60.0)
         t_hi = np.full_like(t, 5000.0)
+        # Cells freeze the moment *their own* criterion holds (instead
+        # of iterating everyone until the slowest cell converges): a
+        # cell's converged T then depends only on its own state, never
+        # on what else shares the batch -- which is what keeps serial
+        # and decomposed property evaluations in agreement.
         for _ in range(max_iter):
             h = self.h_mass(t, p, y)
             resid = h - h_target
-            if np.all(np.abs(resid) <= tol * np.maximum(np.abs(h_target), 1e3)):
+            done = np.abs(resid) <= tol * np.maximum(np.abs(h_target), 1e3)
+            if done.all():
                 break
             cp = np.maximum(self.cp_mass(t, p, y), 50.0)
             above = resid > 0
-            t_hi = np.where(above, np.minimum(t_hi, t), t_hi)
-            t_lo = np.where(~above, np.maximum(t_lo, t), t_lo)
+            t_hi = np.where(above & ~done, np.minimum(t_hi, t), t_hi)
+            t_lo = np.where(~above & ~done, np.maximum(t_lo, t), t_lo)
             t_new = t - resid / cp
             # Fall back to bisection when Newton leaves the bracket.
             bad = (t_new <= t_lo) | (t_new >= t_hi)
-            t = np.where(bad, 0.5 * (t_lo + t_hi), t_new)
+            t_new = np.where(bad, 0.5 * (t_lo + t_hi), t_new)
+            t = np.where(done, t, t_new)
         return t
 
     def properties_hp(self, h, p, y, t_guess=None) -> RealFluidProperties:

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Check that relative links in the repo's markdown docs resolve.
+
+Scans the given markdown files (or directories of them) for
+``[text](target)`` links and verifies that every *repo-internal*
+relative target exists on disk.  Skipped: absolute URLs
+(http/https/mailto), pure in-page anchors (``#...``), and relative
+URLs that escape the repository root (e.g. the CI badge's
+``../../actions/...`` which addresses the GitHub web UI, not a file).
+
+Usage:  python tools/check_links.py README.md docs benchmarks/README.md
+Exit status 1 when any link is broken (CI docs job gates on this).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+#: [text](target) with an optional title; nested parens are not used
+#: in this repo's docs
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_markdown(paths: list[str]):
+    """Yield every markdown file under the given files/directories."""
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.md"))
+        elif p.suffix == ".md":
+            yield p
+
+
+def check_file(md: Path) -> list[str]:
+    """Return human-readable problems for one markdown file."""
+    problems = []
+    for target in LINK_RE.findall(md.read_text()):
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        resolved = (md.parent / rel).resolve()
+        if not resolved.is_relative_to(REPO_ROOT):
+            continue  # web-relative (badge-style) link, not a repo file
+        if not resolved.exists():
+            problems.append(f"{md}: broken link -> {target}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    """Check every file; print problems; return a shell exit status."""
+    files = list(iter_markdown(argv or ["README.md", "docs"]))
+    if not files:
+        print("check_links: no markdown files found", file=sys.stderr)
+        return 1
+    problems = [p for md in files for p in check_file(md)]
+    for p in problems:
+        print(p, file=sys.stderr)
+    print(f"check_links: {len(files)} files, "
+          f"{len(problems)} broken links")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
