@@ -214,6 +214,15 @@ def main() -> None:
                          "underloaded ranks and print the "
                          "chemistry-balance ledger summary "
                          "(default: none)")
+    ap.add_argument("--profile", action="store_true",
+                    help="print the per-stage time + hot-path allocation "
+                         "table from StepTimings after the run (the "
+                         "fast-assembly path reports ~zero "
+                         "construction/solving allocations once warm; "
+                         "compare with --no-fast-assembly)")
+    ap.add_argument("--no-fast-assembly", action="store_true",
+                    help="use the allocating reference assembly path "
+                         "instead of the zero-reassembly workspace")
     ap.add_argument("--steps", type=int, default=5)
     ap.add_argument("--n", type=int, default=16, help="cells per side")
     args = ap.parse_args()
@@ -231,7 +240,8 @@ def main() -> None:
     dt = 1e-8  # the paper's 10 ns step
     chemistry = build_chemistry(args.chemistry, case.mech, case, dt)
     solver = DeepFlameSolver(case, chemistry=chemistry,
-                             transport=args.transport)
+                             transport=args.transport,
+                             fast_assembly=not args.no_fast_assembly)
     print(f"  initial density range: [{solver.rho.min():.1f}, "
           f"{solver.rho.max():.1f}] kg/m^3 (real-fluid Peng-Robinson)")
 
@@ -253,6 +263,15 @@ def main() -> None:
                         ("Construction", tm.construction),
                         ("Solving", tm.solving), ("Other", tm.other)]:
             print(f"  {name:15s} {t*1e3:8.2f} ms  ({t/total*100:4.1f} %)")
+
+    if args.profile:
+        mode = "reference" if args.no_fast_assembly else "fast-assembly"
+        print(f"\nPer-stage profile of the last step ({mode} path; "
+              "allocs = hot-path buffers materialized):")
+        print(f"  {'stage':15s} {'time [ms]':>10s} {'allocs':>7s}")
+        for name, secs, allocs in tm.rows():
+            print(f"  {name:15s} {secs*1e3:10.2f} {allocs:7d}")
+        print(f"  {'total':15s} {tm.total*1e3:10.2f} {tm.total_allocs:7d}")
 
     if args.ranks > 0:
         run_decomposed(args, case.mech, dt)

@@ -6,6 +6,7 @@ ODE integrators and the constant-pressure reactor used for surrogate
 training and accuracy references.
 """
 
+from .jacobian import AnalyticJacobian
 from .kinetics import KineticsEvaluator
 from .mechanism import Mechanism
 from .ode import BDFIntegrator, Rosenbrock2, WorkCounters, integrate_rk4
@@ -43,6 +44,7 @@ def load_mechanism(name: str = "lox_ch4_17sp") -> Mechanism:
 
 
 __all__ = [
+    "AnalyticJacobian",
     "Arrhenius",
     "BACKEND_NAMES",
     "BDFIntegrator",

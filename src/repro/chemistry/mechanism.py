@@ -67,6 +67,21 @@ class Mechanism:
                 self.element_matrix[elements.index(el), i] = cnt
 
         self.reversible_mask = np.array([r.reversible for r in self.reactions])
+
+        # Species-vectorized NASA-7 evaluation: when every species
+        # carries a single-range polynomial (the built-in mechanisms
+        # do), the whole-species-set thermo sweeps below run one
+        # Horner pass on an (..., ns) block -- one log(T), no Python
+        # loop over species -- instead of stacking 17 per-species
+        # evaluations.  Agrees with the per-species path to ULP-level
+        # rounding; mechanisms with other thermo types fall back.
+        try:
+            self._thermo_coeffs = np.array(
+                [list(s.thermo.coeffs) for s in self.species], dtype=float)
+            if self._thermo_coeffs.shape != (ns, 7):
+                self._thermo_coeffs = None
+        except (AttributeError, TypeError, ValueError):
+            self._thermo_coeffs = None
         self._validate()
 
     # ----------------------------------------------------------------
@@ -85,17 +100,49 @@ class Mechanism:
     def cp_r_all(self, t: np.ndarray) -> np.ndarray:
         """cp/R for all species: shape ``t.shape + (n_species,)``."""
         t = np.asarray(t)
-        return np.stack([s.thermo.cp_r(t) for s in self.species], axis=-1)
+        a = self._thermo_coeffs
+        if a is None:
+            return np.stack([s.thermo.cp_r(t) for s in self.species],
+                            axis=-1)
+        tb = np.asarray(t, dtype=float)[..., None]
+        return a[:, 0] + tb * (a[:, 1] + tb * (a[:, 2] + tb * (
+            a[:, 3] + tb * a[:, 4])))
+
+    def cp_r_dt_all(self, t: np.ndarray) -> np.ndarray:
+        """d(cp/R)/dT for all species (analytic Jacobian support)."""
+        t = np.asarray(t)
+        a = self._thermo_coeffs
+        if a is None:
+            return np.stack([s.thermo.cp_r_dt(t) for s in self.species],
+                            axis=-1)
+        tb = np.asarray(t, dtype=float)[..., None]
+        return a[:, 1] + tb * (2.0 * a[:, 2] + tb * (
+            3.0 * a[:, 3] + tb * 4.0 * a[:, 4]))
 
     def h_rt_all(self, t: np.ndarray) -> np.ndarray:
         """h/(RT) for all species."""
         t = np.asarray(t)
-        return np.stack([s.thermo.h_rt(t) for s in self.species], axis=-1)
+        a = self._thermo_coeffs
+        if a is None:
+            return np.stack([s.thermo.h_rt(t) for s in self.species],
+                            axis=-1)
+        tb = np.asarray(t, dtype=float)[..., None]
+        poly = a[:, 0] + tb * (a[:, 1] / 2.0 + tb * (a[:, 2] / 3.0 + tb * (
+            a[:, 3] / 4.0 + tb * a[:, 4] / 5.0)))
+        return poly + a[:, 5] / tb
 
     def s_r_all(self, t: np.ndarray) -> np.ndarray:
         """s/R for all species at the reference pressure."""
         t = np.asarray(t)
-        return np.stack([s.thermo.s_r(t) for s in self.species], axis=-1)
+        a = self._thermo_coeffs
+        if a is None:
+            return np.stack([s.thermo.s_r(t) for s in self.species],
+                            axis=-1)
+        tb = np.asarray(t, dtype=float)[..., None]
+        return (a[:, 0] * np.log(tb)
+                + tb * (a[:, 1] + tb * (a[:, 2] / 2.0 + tb * (
+                    a[:, 3] / 3.0 + tb * a[:, 4] / 4.0)))
+                + a[:, 6])
 
     def g_rt_all(self, t: np.ndarray) -> np.ndarray:
         """g/(RT) for all species."""

@@ -77,19 +77,39 @@ def mixture_line(
 
 
 class ConstantPressureReactor:
-    """Adiabatic constant-pressure reactor advanced with the BDF solver."""
+    """Adiabatic constant-pressure reactor advanced with the BDF solver.
 
-    def __init__(self, mech: Mechanism, rtol: float = 1e-8, atol: float = 1e-12):
+    ``jacobian="analytic"`` swaps the batched finite-difference Newton
+    matrix for the stoichiometry-assembled
+    :class:`~repro.chemistry.jacobian.AnalyticJacobian`; ``"fd"``
+    (default) keeps the reference finite-difference path.
+    """
+
+    #: Temperature clamp of the reactor RHS; the analytic Jacobian
+    #: must differentiate the same clamped function.
+    T_FLOOR = 150.0
+
+    def __init__(self, mech: Mechanism, rtol: float = 1e-8,
+                 atol: float = 1e-12, jacobian: str = "fd"):
+        if jacobian not in ("analytic", "fd"):
+            raise ValueError(f"unknown jacobian mode {jacobian!r}")
         self.mech = mech
         self.kinetics = KineticsEvaluator(mech)
         self.rtol = rtol
         self.atol = atol
+        self.jacobian = jacobian
+        if jacobian == "analytic":
+            from .jacobian import AnalyticJacobian
+
+            self._ajac = AnalyticJacobian(mech, t_floor=self.T_FLOOR)
+        else:
+            self._ajac = None
         self.last_work: WorkCounters | None = None
 
     # ----------------------------------------------------------------
     def _rhs_batch(self, pressure: float, states: np.ndarray) -> np.ndarray:
         """Vectorized reactor RHS for a batch of packed states (m, 1+ns)."""
-        temp = np.maximum(states[:, 0], 150.0)
+        temp = np.maximum(states[:, 0], self.T_FLOOR)
         y = np.clip(states[:, 1:], 0.0, 1.0)
         dtdt, dydt = self.kinetics.constant_pressure_rhs(
             temp, np.full(temp.shape, pressure), y
@@ -105,7 +125,17 @@ class ConstantPressureReactor:
     def _jac(self, pressure: float):
         """Batched finite-difference Jacobian: one vectorized kinetics
         evaluation for all n+1 perturbed states instead of n+1 scalar
-        RHS calls (the dominant cost of the direct-integration path)."""
+        RHS calls (the dominant cost of the direct-integration path).
+        With ``jacobian="analytic"`` the FD sweep is replaced by the
+        single-pass stoichiometric assembly."""
+        if self._ajac is not None:
+            ajac = self._ajac
+
+            def jac_analytic(_t: float, state: np.ndarray) -> np.ndarray:
+                return ajac.jacobian_packed(state[None, :],
+                                            np.array([pressure]))[0]
+
+            return jac_analytic
 
         def jac(_t: float, state: np.ndarray) -> np.ndarray:
             n = state.size

@@ -45,6 +45,12 @@ class Nasa7Poly:
         a = self.coeffs
         return a[0] + t * (a[1] + t * (a[2] + t * (a[3] + t * a[4])))
 
+    def cp_r_dt(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Temperature derivative d(cp/R)/dT (for analytic chemistry
+        Jacobians)."""
+        a = self.coeffs
+        return a[1] + t * (2.0 * a[2] + t * (3.0 * a[3] + t * 4.0 * a[4]))
+
     def h_rt(self, t: np.ndarray | float) -> np.ndarray | float:
         """Nondimensional enthalpy h/(R T) at temperature ``t`` [K]."""
         a = self.coeffs

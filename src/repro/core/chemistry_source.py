@@ -80,9 +80,10 @@ class DirectChemistry(BackendChemistry):
     """Per-cell stiff BDF integration (the CVODE-style baseline)."""
 
     def __init__(self, mech: Mechanism, rtol: float = 1e-6, atol: float = 1e-10,
-                 t_floor: float = 200.0):
+                 t_floor: float = 200.0, jacobian: str = "analytic"):
         super().__init__(PerCellBDFBackend(mech, rtol=rtol, atol=atol,
-                                           t_floor=t_floor))
+                                           t_floor=t_floor,
+                                           jacobian=jacobian))
         self.mech = mech
         self.kinetics = self.backend.kinetics
         self.rtol, self.atol = rtol, atol

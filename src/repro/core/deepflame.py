@@ -54,6 +54,8 @@ from ..fv.operators import (
     fvm_laplacian,
     fvm_sp,
 )
+from ..fv.workspace import EquationWorkspace
+from ..runtime import alloc
 from ..solvers.controls import SolverControls
 from .cases import Case
 from .chemistry_source import BackendChemistry, ChemistryStats, NoChemistry
@@ -64,22 +66,71 @@ __all__ = ["StepTimings", "StepDiagnostics", "DeepFlameSolver"]
 
 @dataclass
 class StepTimings:
-    """Wall time per component of one step (the Fig. 11 categories)."""
+    """Wall time per component of one step (the Fig. 11 categories),
+    plus per-stage *buffer allocation* counts (``alloc_*``): the number
+    of fresh hot-path arrays (LDU coefficient sets, equation sources,
+    CSR conversions, Krylov vectors, preconditioner state) the stage
+    materialized.  A warm ``fast_assembly`` step reports near-zero
+    construction/solving allocations; the reference path reports
+    hundreds -- the difference is what the zero-reassembly work
+    removed, and the ``price``-style profile reports print it."""
 
     dnn: float = 0.0          # properties + chemistry (surrogate-able)
     construction: float = 0.0
     solving: float = 0.0
     other: float = 0.0
+    alloc_dnn: int = 0
+    alloc_construction: int = 0
+    alloc_solving: int = 0
+    alloc_other: int = 0
 
     @property
     def total(self) -> float:
         return self.dnn + self.construction + self.solving + self.other
+
+    @property
+    def total_allocs(self) -> int:
+        return (self.alloc_dnn + self.alloc_construction
+                + self.alloc_solving + self.alloc_other)
 
     def accumulate(self, other: "StepTimings") -> None:
         self.dnn += other.dnn
         self.construction += other.construction
         self.solving += other.solving
         self.other += other.other
+        self.alloc_dnn += other.alloc_dnn
+        self.alloc_construction += other.alloc_construction
+        self.alloc_solving += other.alloc_solving
+        self.alloc_other += other.alloc_other
+
+    def rows(self) -> list[tuple[str, float, int]]:
+        """``(stage, seconds, allocations)`` rows for profile tables."""
+        return [("DNN/properties", self.dnn, self.alloc_dnn),
+                ("Construction", self.construction, self.alloc_construction),
+                ("Solving", self.solving, self.alloc_solving),
+                ("Other", self.other, self.alloc_other)]
+
+
+class _StageTimer:
+    """Times a block *and* attributes hot-path buffer allocations to
+    one :class:`StepTimings` stage."""
+
+    __slots__ = ("tm", "name", "t0", "a0")
+
+    def __init__(self, tm: StepTimings, name: str):
+        self.tm = tm
+        self.name = name
+
+    def __enter__(self) -> "_StageTimer":
+        self.t0 = time.perf_counter()
+        self.a0 = alloc.snapshot()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        tm, name = self.tm, self.name
+        setattr(tm, name, getattr(tm, name) + time.perf_counter() - self.t0)
+        aname = "alloc_" + name
+        setattr(tm, aname, getattr(tm, aname) + alloc.snapshot() - self.a0)
 
 
 @dataclass
@@ -113,10 +164,12 @@ class DeepFlameSolver:
         n_correctors: int = 2,
         solve_momentum: bool = True,
         transport: str = "coupled",
+        fast_assembly: bool = True,
     ):
         if transport not in ("coupled", "per-species"):
             raise ValueError(f"unknown transport mode {transport!r}")
         self.transport = transport
+        self.fast_assembly = bool(fast_assembly)
         self.case = case
         self.mesh = case.mesh
         self.mech = case.mech
@@ -131,6 +184,12 @@ class DeepFlameSolver:
         self.pressure_controls = pressure_controls
         self.n_correctors = n_correctors
         self.solve_momentum = solve_momentum
+        # Zero-reassembly hot path: one workspace owns the persistent
+        # LDU/source buffers, the CSR pattern, cached preconditioners
+        # and the Krylov vector pool.  fast_assembly=False keeps the
+        # allocating operator-chain path as a validation reference.
+        self._ws = EquationWorkspace(self.mesh) if self.fast_assembly \
+            else None
 
         mesh = self.mesh
         self.u = case.velocity
@@ -186,20 +245,19 @@ class DeepFlameSolver:
         bitwise-consistent -- and skipping the ghost rows avoids
         redundant work.
         """
-        t0 = time.perf_counter()
-        if cells is None:
-            self.props = self.properties.evaluate(
-                self.h, self.p.values, self.y,
-                t_guess=self.props.temperature)
-        else:
-            part = self.properties.evaluate(
-                self.h[cells], self.p.values[cells], self.y[cells],
-                t_guess=self.props.temperature[cells])
-            for name in ("rho", "temperature", "mu", "alpha", "cp"):
-                getattr(self.props, name)[cells] = getattr(part, name)
-        rho_old = self.rho.copy()
-        self.rho = self.props.rho.copy()
-        tm.dnn += time.perf_counter() - t0
+        with _StageTimer(tm, "dnn"):
+            if cells is None:
+                self.props = self.properties.evaluate(
+                    self.h, self.p.values, self.y,
+                    t_guess=self.props.temperature)
+            else:
+                part = self.properties.evaluate(
+                    self.h[cells], self.p.values[cells], self.y[cells],
+                    t_guess=self.props.temperature[cells])
+                for name in ("rho", "temperature", "mu", "alpha", "cp"):
+                    getattr(self.props, name)[cells] = getattr(part, name)
+            rho_old = self.rho.copy()
+            self.rho = self.props.rho.copy()
         return rho_old
 
     def stage_chemistry(self, dt: float, tm: StepTimings,
@@ -211,17 +269,16 @@ class DeepFlameSolver:
         the one stage expensive enough that no rank recomputes it for
         its ghost layer.
         """
-        t0 = time.perf_counter()
-        if cells is None:
-            _, y_new = self.chemistry.advance(
-                self.props.temperature, self.p.values, self.y, dt)
-            self.y = np.asarray(y_new, dtype=float)
-        else:
-            _, y_new = self.chemistry.advance(
-                self.props.temperature[cells], self.p.values[cells],
-                self.y[cells], dt)
-            self.y[cells] = np.asarray(y_new, dtype=float)
-        tm.dnn += time.perf_counter() - t0
+        with _StageTimer(tm, "dnn"):
+            if cells is None:
+                _, y_new = self.chemistry.advance(
+                    self.props.temperature, self.p.values, self.y, dt)
+                self.y = np.asarray(y_new, dtype=float)
+            else:
+                _, y_new = self.chemistry.advance(
+                    self.props.temperature[cells], self.p.values[cells],
+                    self.y[cells], dt)
+                self.y[cells] = np.asarray(y_new, dtype=float)
 
     def adopt_chemistry(self, y_new: np.ndarray, cells=slice(None),
                         stats=None) -> None:
@@ -255,34 +312,47 @@ class DeepFlameSolver:
                              d_eff: np.ndarray,
                              tm: StepTimings) -> CoupledTransportEquation:
         """All n_species equations share one ``ddt + div - laplacian``
-        operator: assemble it once as a blocked system."""
-        t0 = time.perf_counter()
-        yf = MultiVolField(
-            [f"Y_{s}" for s in self.mech.species_names], self.mesh, self.y)
-        eqn = CoupledTransportEquation.transport(
-            yf, self.rho, dt, phi=self.phi, gamma=self.rho * d_eff,
-            rho_old=rho_old, scheme="upwind")
-        tm.construction += time.perf_counter() - t0
+        operator: assemble it once as a blocked system (into the
+        persistent workspace buffers on the fast-assembly path)."""
+        with _StageTimer(tm, "construction"):
+            yf = MultiVolField(
+                [f"Y_{s}" for s in self.mech.species_names], self.mesh,
+                self.y)
+            if self._ws is not None:
+                eqn = self._ws.transport_multi(
+                    yf, self.rho, dt, phi=self.phi, gamma=self.rho * d_eff,
+                    rho_old=rho_old, scheme="upwind")
+            else:
+                eqn = CoupledTransportEquation.transport(
+                    yf, self.rho, dt, phi=self.phi, gamma=self.rho * d_eff,
+                    rho_old=rho_old, scheme="upwind")
         return eqn
 
     def finish_species(self, y: np.ndarray, tm: StepTimings,
                        cells=slice(None)) -> None:
         """Adopt a solved mass-fraction block: clip + renormalize."""
-        t0 = time.perf_counter()
-        y = np.clip(y, 0.0, 1.0)
-        y /= y.sum(axis=1, keepdims=True)
-        self.y[cells] = y
-        tm.other += time.perf_counter() - t0
+        with _StageTimer(tm, "other"):
+            y = np.clip(y, 0.0, 1.0)
+            y /= y.sum(axis=1, keepdims=True)
+            self.y[cells] = y
 
     def assemble_energy_eqn(self, dt: float, rho_old: np.ndarray,
                             tm: StepTimings) -> FVMatrix:
-        """Implicit specific-enthalpy transport equation."""
+        """Implicit specific-enthalpy transport equation (a single
+        fused pass into workspace buffers on the fast-assembly path;
+        the ``fvm_ddt + fvm_div - fvm_laplacian`` operator chain is the
+        validation reference)."""
         h_field = VolField("h", self.mesh, self.h)
-        t0 = time.perf_counter()
-        eqn = (fvm_ddt(self.rho, h_field, dt, rho_old=rho_old)
-               + fvm_div(self.phi, h_field, scheme="upwind")
-               - fvm_laplacian(self.rho * self.props.alpha, h_field))
-        tm.construction += time.perf_counter() - t0
+        with _StageTimer(tm, "construction"):
+            if self._ws is not None:
+                eqn = self._ws.transport(
+                    h_field, self.rho, dt, phi=self.phi,
+                    gamma=self.rho * self.props.alpha, rho_old=rho_old,
+                    scheme="upwind")
+            else:
+                eqn = (fvm_ddt(self.rho, h_field, dt, rho_old=rho_old)
+                       + fvm_div(self.phi, h_field, scheme="upwind")
+                       - fvm_laplacian(self.rho * self.props.alpha, h_field))
         return eqn
 
     def assemble_momentum_eqn(
@@ -291,14 +361,18 @@ class DeepFlameSolver:
         """The 3 momentum components as one blocked equation; returns
         ``(eqn, r_au)`` with ``r_au = V / diag(A)`` (the PISO 1/A)."""
         mesh = self.mesh
-        t0 = time.perf_counter()
-        uf = MultiVolField.from_vector(self.u)
-        eqn = CoupledTransportEquation.transport(
-            uf, self.rho, dt, phi=self.phi, gamma=self.props.mu,
-            rho_old=rho_old, scheme="upwind")
-        eqn.source -= grad_p * mesh.cell_volumes[:, None]
-        r_au = mesh.cell_volumes / eqn.a.diag
-        tm.construction += time.perf_counter() - t0
+        with _StageTimer(tm, "construction"):
+            uf = MultiVolField.from_vector(self.u)
+            if self._ws is not None:
+                eqn = self._ws.transport_multi(
+                    uf, self.rho, dt, phi=self.phi, gamma=self.props.mu,
+                    rho_old=rho_old, scheme="upwind")
+            else:
+                eqn = CoupledTransportEquation.transport(
+                    uf, self.rho, dt, phi=self.phi, gamma=self.props.mu,
+                    rho_old=rho_old, scheme="upwind")
+            eqn.source -= grad_p * mesh.cell_volumes[:, None]
+            r_au = mesh.cell_volumes / eqn.a.diag
         return eqn, r_au
 
     def assemble_pressure_eqn(
@@ -311,21 +385,30 @@ class DeepFlameSolver:
         the pre-solve pressure that :meth:`finish_pressure` consumes.
         """
         mesh = self.mesh
-        t0 = time.perf_counter()
-        hby_a = self.u.values + r_au[:, None] * grad_p
-        rho_f = VolField("rho", mesh, self.rho).face_values()
-        hby_a_f = VolField("HbyA", mesh, hby_a,
-                           boundary=self.u.boundary).face_values()
-        phi_hby_a = rho_f * np.einsum("fi,fi->f", hby_a_f, mesh.face_areas)
-        r_au_f = VolField("rAU", mesh, r_au).face_values()
-        p_eqn = (fvm_sp(psi / dt, self.p)
-                 - fvm_laplacian(rho_f * r_au_f, self.p))
-        p_eqn.source += (psi * self.p.values * mesh.cell_volumes / dt
-                         - (self.rho - rho_old) * mesh.cell_volumes / dt
-                         - fvc_surface_integral(mesh, phi_hby_a))
-        aux = {"hby_a": hby_a, "rho_f": rho_f, "r_au_f": r_au_f,
-               "phi_hby_a": phi_hby_a, "p_old": self.p.values.copy()}
-        tm.construction += time.perf_counter() - t0
+        with _StageTimer(tm, "construction"):
+            hby_a = self.u.values + r_au[:, None] * grad_p
+            rho_f = VolField("rho", mesh, self.rho).face_values()
+            hby_a_f = VolField("HbyA", mesh, hby_a,
+                               boundary=self.u.boundary).face_values()
+            phi_hby_a = rho_f * np.einsum("fi,fi->f", hby_a_f,
+                                          mesh.face_areas)
+            r_au_f = VolField("rAU", mesh, r_au).face_values()
+            if self._ws is not None:
+                # Fused: ddt(psi, p) reproduces fvm_sp(psi/dt, p) plus
+                # the explicit psi*p*V/dt source term in one pass.
+                p_eqn = self._ws.transport(self.p, psi, dt,
+                                           gamma=rho_f * r_au_f)
+                p_eqn.source += (
+                    -(self.rho - rho_old) * mesh.cell_volumes / dt
+                    - fvc_surface_integral(mesh, phi_hby_a))
+            else:
+                p_eqn = (fvm_sp(psi / dt, self.p)
+                         - fvm_laplacian(rho_f * r_au_f, self.p))
+                p_eqn.source += (psi * self.p.values * mesh.cell_volumes / dt
+                                 - (self.rho - rho_old) * mesh.cell_volumes / dt
+                                 - fvc_surface_integral(mesh, phi_hby_a))
+            aux = {"hby_a": hby_a, "rho_f": rho_f, "r_au_f": r_au_f,
+                   "phi_hby_a": phi_hby_a, "p_old": self.p.values.copy()}
         return p_eqn, aux
 
     def finish_pressure(self, dt: float, r_au: np.ndarray, psi: np.ndarray,
@@ -334,19 +417,18 @@ class DeepFlameSolver:
         velocity and density corrections.  Returns the new pressure
         gradient (input to the next corrector)."""
         mesh = self.mesh
-        t0 = time.perf_counter()
-        nif = mesh.n_internal_faces
-        coeff = (aux["rho_f"] * aux["r_au_f"])[:nif] * np.linalg.norm(
-            mesh.face_areas[:nif], axis=1) * mesh.face_delta_coeffs()
-        dp_f = self.p.values[mesh.neighbour] \
-            - self.p.values[mesh.owner[:nif]]
-        new_flux = aux["phi_hby_a"].copy()
-        new_flux[:nif] -= coeff * dp_f
-        self.phi = SurfaceField("phi", mesh, new_flux)
-        grad_p = fvc_grad(self.p)
-        self.u.values[:] = aux["hby_a"] - r_au[:, None] * grad_p
-        self.rho = self.rho + psi * (self.p.values - aux["p_old"])
-        tm.other += time.perf_counter() - t0
+        with _StageTimer(tm, "other"):
+            nif = mesh.n_internal_faces
+            coeff = (aux["rho_f"] * aux["r_au_f"])[:nif] \
+                * mesh.face_area_mags()[:nif] * mesh.face_delta_coeffs()
+            dp_f = self.p.values[mesh.neighbour] \
+                - self.p.values[mesh.owner[:nif]]
+            new_flux = aux["phi_hby_a"].copy()
+            new_flux[:nif] -= coeff * dp_f
+            self.phi = SurfaceField("phi", mesh, new_flux)
+            grad_p = fvc_grad(self.p)
+            self.u.values[:] = aux["hby_a"] - r_au[:, None] * grad_p
+            self.rho = self.rho + psi * (self.p.values - aux["p_old"])
         return grad_p
 
     # -- one time step ---------------------------------------------------
@@ -372,9 +454,9 @@ class DeepFlameSolver:
 
         # (4) energy (specific enthalpy)
         eqn_h = self.assemble_energy_eqn(dt, rho_old, tm)
-        t0 = time.perf_counter()
-        _, res = eqn_h.solve(solver="PBiCGStab", controls=self.scalar_controls)
-        tm.solving += time.perf_counter() - t0
+        with _StageTimer(tm, "solving"):
+            _, res = eqn_h.solve(solver="PBiCGStab",
+                                 controls=self.scalar_controls)
         solver_flops += res.flops
         solver_iters += res.iterations
         self.h = eqn_h.field.values
@@ -405,13 +487,14 @@ class DeepFlameSolver:
                                    tm) -> tuple[int, int]:
         """Assemble once, solve one blocked Krylov system."""
         eqn = self.assemble_species_eqn(dt, rho_old, d_eff, tm)
-        t0 = time.perf_counter()
-        x, results = eqn.solve(solver="PBiCGStab",
-                               controls=self.scalar_controls)
-        tm.solving += time.perf_counter() - t0
+        with _StageTimer(tm, "solving"):
+            x, results = eqn.solve(solver="PBiCGStab",
+                                   controls=self.scalar_controls)
         # Adopt the solution block explicitly rather than relying on
         # yf.values aliasing self.y (asarray copies on dtype mismatch).
-        self.y = x
+        # On the pooled path x is the workspace's block buffer; copy it
+        # so self.y survives the next blocked solve of the same shape.
+        self.y = x if eqn.workspace is None else x.copy()
         return (sum(r.flops for r in results),
                 sum(r.iterations for r in results))
 
@@ -423,15 +506,13 @@ class DeepFlameSolver:
         for i in range(self.mech.n_species):
             yi = VolField(f"Y_{self.mech.species_names[i]}", self.mesh,
                           self.y[:, i])
-            t0 = time.perf_counter()
-            eqn = (fvm_ddt(self.rho, yi, dt, rho_old=rho_old)
-                   + fvm_div(self.phi, yi, scheme="upwind")
-                   - fvm_laplacian(self.rho * d_eff, yi))
-            tm.construction += time.perf_counter() - t0
-            t0 = time.perf_counter()
-            _, res = eqn.solve(solver="PBiCGStab",
-                               controls=self.scalar_controls)
-            tm.solving += time.perf_counter() - t0
+            with _StageTimer(tm, "construction"):
+                eqn = (fvm_ddt(self.rho, yi, dt, rho_old=rho_old)
+                       + fvm_div(self.phi, yi, scheme="upwind")
+                       - fvm_laplacian(self.rho * d_eff, yi))
+            with _StageTimer(tm, "solving"):
+                _, res = eqn.solve(solver="PBiCGStab",
+                                   controls=self.scalar_controls)
             flops += res.flops
             iters += res.iterations
             self.y[:, i] = yi.values
@@ -441,10 +522,9 @@ class DeepFlameSolver:
                                     tm) -> tuple[np.ndarray, int, int]:
         """The 3 momentum components as one blocked solve."""
         eqn, r_au = self.assemble_momentum_eqn(dt, rho_old, grad_p, tm)
-        t0 = time.perf_counter()
-        x, results = eqn.solve(solver="PBiCGStab",
-                               controls=self.scalar_controls)
-        tm.solving += time.perf_counter() - t0
+        with _StageTimer(tm, "solving"):
+            x, results = eqn.solve(solver="PBiCGStab",
+                                   controls=self.scalar_controls)
         self.u.values[:] = x
         return (r_au, sum(r.flops for r in results),
                 sum(r.iterations for r in results))
@@ -457,18 +537,16 @@ class DeepFlameSolver:
         r_au = None
         for comp in range(3):
             uc = self.u.component(comp)
-            t0 = time.perf_counter()
-            eqn = (fvm_ddt(self.rho, uc, dt, rho_old=rho_old)
-                   + fvm_div(self.phi, uc, scheme="upwind")
-                   - fvm_laplacian(self.props.mu, uc))
-            eqn.source -= grad_p[:, comp] * mesh.cell_volumes
-            tm.construction += time.perf_counter() - t0
+            with _StageTimer(tm, "construction"):
+                eqn = (fvm_ddt(self.rho, uc, dt, rho_old=rho_old)
+                       + fvm_div(self.phi, uc, scheme="upwind")
+                       - fvm_laplacian(self.props.mu, uc))
+                eqn.source -= grad_p[:, comp] * mesh.cell_volumes
             if r_au is None:
                 r_au = mesh.cell_volumes / eqn.a.diag
-            t0 = time.perf_counter()
-            _, res = eqn.solve(solver="PBiCGStab",
-                               controls=self.scalar_controls)
-            tm.solving += time.perf_counter() - t0
+            with _StageTimer(tm, "solving"):
+                _, res = eqn.solve(solver="PBiCGStab",
+                                   controls=self.scalar_controls)
             flops += res.flops
             iters += res.iterations
             self.u.values[:, comp] = uc.values
@@ -487,9 +565,9 @@ class DeepFlameSolver:
         for _ in range(self.n_correctors):
             p_eqn, aux = self.assemble_pressure_eqn(
                 dt, rho_old, r_au, psi, grad_p, tm)
-            t0 = time.perf_counter()
-            _, res = p_eqn.solve(solver="PCG", controls=self.pressure_controls)
-            tm.solving += time.perf_counter() - t0
+            with _StageTimer(tm, "solving"):
+                _, res = p_eqn.solve(solver="PCG",
+                                     controls=self.pressure_controls)
             flops += res.flops
             iters += res.iterations
             grad_p = self.finish_pressure(dt, r_au, psi, aux, tm)

@@ -35,11 +35,22 @@ class PropertySet:
 
 
 class DirectRealFluidProperties:
-    """Iterative Peng-Robinson property evaluation (the PRNet target)."""
+    """Iterative Peng-Robinson property evaluation (the PRNet target).
 
-    def __init__(self, mech: Mechanism, rf: RealFluidMixture | None = None):
+    ``batched_eos`` selects the batched companion-eigenvalue cubic
+    solve (bitwise identical to the per-cell ``np.roots`` loop it
+    replaces); ``False`` keeps the reference loop for validation and
+    baseline benchmarking.  ``None`` (default) leaves a caller-supplied
+    mixture's EoS untouched -- pass an explicit value only to override
+    it (the override mutates the shared ``rf.eos``).
+    """
+
+    def __init__(self, mech: Mechanism, rf: RealFluidMixture | None = None,
+                 batched_eos: bool | None = None):
         self.mech = mech
         self.rf = rf if rf is not None else RealFluidMixture(mech)
+        if batched_eos is not None:
+            self.rf.eos.batched_roots = bool(batched_eos)
 
     def evaluate(self, h, p, y, t_guess=None) -> PropertySet:
         props = self.rf.properties_hp(h, p, y, t_guess=t_guess)

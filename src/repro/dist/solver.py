@@ -84,6 +84,7 @@ class DecomposedSolver:
         solve_momentum: bool = True,
         balance_chemistry: str = "none",
         balance_kwargs: dict | None = None,
+        fast_assembly: bool = True,
     ):
         if balance_chemistry not in BALANCE_MODES:
             raise ValueError(
@@ -110,7 +111,7 @@ class DecomposedSolver:
                 chemistry=chemistry, scalar_controls=scalar_controls,
                 pressure_controls=pressure_controls,
                 n_correctors=n_correctors, solve_momentum=solve_momentum,
-                transport="coupled")
+                transport="coupled", fast_assembly=fast_assembly)
             for sub in self.decomp.subdomains
         ]
         # The rank constructors evaluated properties/enthalpy over

@@ -12,6 +12,7 @@ from .fields import MultiVolField, SurfaceField, VolField
 from .operators import (
     CoupledTransportEquation,
     FVMatrix,
+    assemble_transport,
     fvc_div,
     fvc_grad,
     fvc_laplacian,
@@ -21,11 +22,14 @@ from .operators import (
     fvm_laplacian,
     fvm_sp,
 )
+from .workspace import EquationWorkspace
 
 __all__ = [
     "BoundaryCondition",
     "CoupledTransportEquation",
+    "EquationWorkspace",
     "FVMatrix",
+    "assemble_transport",
     "FaceClassification",
     "FixedGradient",
     "FixedValue",

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..runtime import alloc
 from ..solvers.blocked import pbicgstab_solve_multi, pcg_solve_multi
 from ..solvers.controls import SolverControls, SolverResult
 from ..solvers.pbicgstab import pbicgstab_solve
@@ -29,6 +30,7 @@ from .fields import MultiVolField, SurfaceField, VolField
 __all__ = [
     "CoupledTransportEquation",
     "FVMatrix",
+    "assemble_transport",
     "fvm_ddt",
     "fvm_div",
     "fvm_laplacian",
@@ -41,17 +43,26 @@ __all__ = [
 
 
 class FVMatrix:
-    """An implicit FV equation: ``A psi = source``."""
+    """An implicit FV equation: ``A psi = source``.
 
-    def __init__(self, field: VolField, a: LDUMatrix, source: np.ndarray):
+    ``workspace`` (an :class:`~repro.fv.workspace.EquationWorkspace`)
+    marks an equation assembled into persistent buffers: its solve
+    reuses the workspace's cached preconditioners and Krylov vector
+    pool instead of allocating per call.
+    """
+
+    def __init__(self, field: VolField, a: LDUMatrix, source: np.ndarray,
+                 workspace=None):
         self.field = field
         self.a = a
         self.source = np.asarray(source, dtype=float)
+        self.workspace = workspace
 
     # -- algebra ------------------------------------------------------
     def __add__(self, other: "FVMatrix") -> "FVMatrix":
         if other.field is not self.field:
             raise ValueError("operands discretize different fields")
+        alloc.count()
         return FVMatrix(self.field, self.a + other.a, self.source + other.source)
 
     def __sub__(self, other: "FVMatrix") -> "FVMatrix":
@@ -62,6 +73,7 @@ class FVMatrix:
         m.diag *= scalar
         m.lower *= scalar
         m.upper *= scalar
+        alloc.count()
         return FVMatrix(self.field, m, self.source * scalar)
 
     __rmul__ = __mul__
@@ -95,21 +107,30 @@ class FVMatrix:
             # not change between solves.
             solver = "PCG" if self.a.is_symmetric_cached(tol=1e-14) \
                 else "PBiCGStab"
+        ws = self.workspace
         if solver == "PCG":
-            pre = DICPreconditioner(self.a).apply if self.a.n < 50_000 else \
-                JacobiPreconditioner(self.a).apply
+            if ws is not None:
+                pre = (ws.dic(self.a) if self.a.n < 50_000
+                       else ws.jacobi(self.a)).apply
+            else:
+                pre = DICPreconditioner(self.a).apply if self.a.n < 50_000 \
+                    else JacobiPreconditioner(self.a).apply
             x, res = pcg_solve(self.a, self.source, x0=self.field.values,
-                               preconditioner=pre, controls=controls)
+                               preconditioner=pre, controls=controls,
+                               workspace=ws.krylov if ws else None)
         elif solver == "PBiCGStab":
+            pre = ws.jacobi(self.a) if ws is not None \
+                else JacobiPreconditioner(self.a)
             x, res = pbicgstab_solve(
                 self.a, self.source, x0=self.field.values,
-                preconditioner=JacobiPreconditioner(self.a).apply,
-                controls=controls)
+                preconditioner=pre.apply, controls=controls,
+                workspace=ws.krylov if ws else None)
         elif solver == "GAMG":
             from ..solvers.gamg import GAMGSolver
 
-            x, res = GAMGSolver(self.a).solve(self.source, x0=self.field.values,
-                                              controls=controls)
+            x, res = GAMGSolver(
+                self.a, pattern=ws.pattern if ws else None,
+            ).solve(self.source, x0=self.field.values, controls=controls)
         else:
             raise ValueError(f"unknown solver {solver!r}")
         if update:
@@ -133,13 +154,20 @@ class CoupledTransportEquation:
     Columns must share the implicit part of their boundary conditions
     (same BC type per patch); :class:`MultiVolField` verifies this at
     assembly time and raises otherwise.
+
+    ``pattern`` (a :class:`~repro.sparse.pattern.CSRPattern`) makes
+    the per-solve LDU->CSR conversion an O(nnz) value scatter into
+    cached buffers; ``workspace`` additionally reuses preconditioners
+    and the Krylov vector pool across solves.
     """
 
     def __init__(self, field: MultiVolField, a: LDUMatrix,
-                 source: np.ndarray):
+                 source: np.ndarray, pattern=None, workspace=None):
         self.field = field
         self.a = a
         self.source = np.asarray(source, dtype=float)
+        self.pattern = pattern
+        self.workspace = workspace
         if self.source.shape != field.values.shape:
             raise ValueError("source block must match the field block")
 
@@ -166,49 +194,12 @@ class CoupledTransportEquation:
         """
         mesh = field.mesh
         n, k = field.values.shape
-        nif = mesh.n_internal_faces
-        v = mesh.cell_volumes
         a = LDUMatrix.from_mesh(mesh)
         b = np.zeros((n, k))
-
-        # ddt
-        rho_b = np.broadcast_to(np.asarray(rho, float), (n,))
-        rho_old_b = rho_b if rho_old is None else np.broadcast_to(
-            np.asarray(rho_old, float), (n,))
-        old = field.values if old_values is None else \
-            np.asarray(old_values, float)
-        a.diag += rho_b * v / dt
-        b += (rho_old_b * v / dt)[:, None] * old
-
-        deltas = mesh.boundary_delta_coeffs()
-
-        # div (convection)
-        if phi is not None:
-            _div_internal(a, mesh, phi.internal, scheme)
-            for p in mesh.patches:
-                sl = slice(p.start - nif, p.start - nif + p.size)
-                cells = mesh.owner[p.slice]
-                vi, vb = field.patch_value_coeffs(p.name, deltas[sl])
-                phib = phi.boundary[sl]
-                np.add.at(a.diag, cells, phib * vi)
-                np.add.at(b, cells, -phib[:, None] * vb)
-
-        # - laplacian (diffusion), subtracted as in the PDE
-        if gamma is not None:
-            gamma_f = _face_gamma(mesh, gamma)
-            coeff = _laplacian_coeff(mesh, gamma_f)
-            a.upper -= coeff
-            a.lower -= coeff
-            np.add.at(a.diag, mesh.owner[:nif], coeff)
-            np.add.at(a.diag, mesh.neighbour, coeff)
-            mag_sf_b = np.linalg.norm(mesh.face_areas[nif:], axis=1)
-            for p in mesh.patches:
-                sl = slice(p.start - nif, p.start - nif + p.size)
-                cells = mesh.owner[p.slice]
-                gi, gb = field.patch_gradient_coeffs(p.name, deltas[sl])
-                gsf = gamma_f[p.slice] * mag_sf_b[sl]
-                np.add.at(a.diag, cells, -gsf * gi)
-                np.add.at(b, cells, gsf[:, None] * gb)
+        alloc.count()
+        assemble_transport(a, b, field, rho, dt, phi=phi, gamma=gamma,
+                           rho_old=rho_old, old_values=old_values,
+                           scheme=scheme)
         return cls(field, a, b)
 
     # -- solve ---------------------------------------------------------
@@ -234,22 +225,31 @@ class CoupledTransportEquation:
         if solver == "auto":
             solver = "PCG" if self.a.is_symmetric_cached(tol=1e-14) \
                 else "PBiCGStab"
-        csr = self.a.to_csr()
+        ws = self.workspace
+        csr = self.a.to_csr(pattern=self.pattern)
+        kws = ws.krylov if ws else None
 
         def mv(x: np.ndarray) -> np.ndarray:
             return csr @ x
 
         if solver == "PCG":
-            pre = DICPreconditioner(self.a) if self.a.n < 50_000 else \
-                JacobiPreconditioner(self.a)
+            if ws is not None:
+                pre = ws.dic(self.a) if self.a.n < 50_000 \
+                    else ws.jacobi(self.a)
+            else:
+                pre = DICPreconditioner(self.a) if self.a.n < 50_000 else \
+                    JacobiPreconditioner(self.a)
             x, results = pcg_solve_multi(
                 self.a, self.source, x0=self.field.values,
-                preconditioner=pre.apply_multi, controls=controls, matvec=mv)
+                preconditioner=pre.apply_multi, controls=controls, matvec=mv,
+                workspace=kws)
         elif solver == "PBiCGStab":
+            pre = ws.jacobi(self.a) if ws is not None \
+                else JacobiPreconditioner(self.a)
             x, results = pbicgstab_solve_multi(
                 self.a, self.source, x0=self.field.values,
-                preconditioner=JacobiPreconditioner(self.a).apply_multi,
-                controls=controls, matvec=mv)
+                preconditioner=pre.apply_multi,
+                controls=controls, matvec=mv, workspace=kws)
         else:
             raise ValueError(f"unknown blocked solver {solver!r}")
         if update:
@@ -258,6 +258,87 @@ class CoupledTransportEquation:
 
 
 # ----------------------------------------------------------------------
+def assemble_transport(
+    a: LDUMatrix,
+    b: np.ndarray,
+    field: VolField | MultiVolField,
+    rho: np.ndarray | float,
+    dt: float,
+    phi: SurfaceField | None = None,
+    gamma: np.ndarray | float | None = None,
+    rho_old: np.ndarray | float | None = None,
+    old_values: np.ndarray | None = None,
+    scheme: str = "upwind",
+) -> None:
+    """Fused single-pass assembly of ``ddt + div - laplacian`` into
+    preallocated, zeroed ``(a, b)`` buffers.
+
+    This is the one implementation behind both assembly paths: the
+    allocating :meth:`CoupledTransportEquation.transport` hands it
+    fresh buffers, the zero-reassembly
+    :class:`~repro.fv.workspace.EquationWorkspace` hands it persistent
+    ones -- so the two paths are *bitwise* identical by construction.
+    ``field`` may be a :class:`MultiVolField` with ``b`` of shape
+    ``(n, k)`` (the k columns share the operator; only their boundary
+    sources differ) or a scalar :class:`VolField` with ``b`` of shape
+    ``(n,)`` -- the scalar case fuses what ``fvm_ddt + fvm_div -
+    fvm_laplacian`` builds through three temporaries and an add chain.
+    """
+    mesh = field.mesh
+    n = mesh.n_cells
+    nif = mesh.n_internal_faces
+    v = mesh.cell_volumes
+    multi = b.ndim == 2
+
+    # ddt
+    rho_b = np.broadcast_to(np.asarray(rho, float), (n,))
+    rho_old_b = rho_b if rho_old is None else np.broadcast_to(
+        np.asarray(rho_old, float), (n,))
+    old = field.values if old_values is None else \
+        np.asarray(old_values, float)
+    a.diag += rho_b * v / dt
+    if multi:
+        b += (rho_old_b * v / dt)[:, None] * old
+    else:
+        b += rho_old_b * v / dt * old
+
+    deltas = mesh.boundary_delta_coeffs()
+
+    # div (convection)
+    if phi is not None:
+        _div_internal(a, mesh, phi.internal, scheme)
+        for p in mesh.patches:
+            sl = slice(p.start - nif, p.start - nif + p.size)
+            cells = mesh.owner[p.slice]
+            if multi:
+                vi, vb = field.patch_value_coeffs(p.name, deltas[sl])
+            else:
+                vi, vb = field.boundary[p.name].value_coeffs(deltas[sl])
+            phib = phi.boundary[sl]
+            np.add.at(a.diag, cells, phib * vi)
+            np.add.at(b, cells, -phib[:, None] * vb if multi else -phib * vb)
+
+    # - laplacian (diffusion), subtracted as in the PDE
+    if gamma is not None:
+        gamma_f = _face_gamma(mesh, gamma)
+        coeff = _laplacian_coeff(mesh, gamma_f)
+        a.upper -= coeff
+        a.lower -= coeff
+        np.add.at(a.diag, mesh.owner[:nif], coeff)
+        np.add.at(a.diag, mesh.neighbour, coeff)
+        mag_sf_b = mesh.face_area_mags()[nif:]
+        for p in mesh.patches:
+            sl = slice(p.start - nif, p.start - nif + p.size)
+            cells = mesh.owner[p.slice]
+            if multi:
+                gi, gb = field.patch_gradient_coeffs(p.name, deltas[sl])
+            else:
+                gi, gb = field.boundary[p.name].gradient_coeffs(deltas[sl])
+            gsf = gamma_f[p.slice] * mag_sf_b[sl]
+            np.add.at(a.diag, cells, -gsf * gi)
+            np.add.at(b, cells, gsf[:, None] * gb if multi else gsf * gb)
+
+
 def fvm_ddt(rho: np.ndarray | float, field: VolField, dt: float,
             rho_old: np.ndarray | float | None = None,
             old_values: np.ndarray | None = None) -> FVMatrix:
@@ -270,6 +351,7 @@ def fvm_ddt(rho: np.ndarray | float, field: VolField, dt: float,
     old = field.values if old_values is None else old_values
     a = LDUMatrix.from_mesh(mesh)
     a.diag[:] = rho * v / dt
+    alloc.count()
     return FVMatrix(field, a, rho_old_b * v / dt * old)
 
 
@@ -296,10 +378,15 @@ def _div_internal(a: LDUMatrix, mesh, phi_i: np.ndarray, scheme: str) -> None:
 
 
 def _laplacian_coeff(mesh, gamma_f: np.ndarray) -> np.ndarray:
-    """Internal-face diffusion coefficient gamma |Sf| / delta."""
+    """Internal-face diffusion coefficient gamma |Sf| / delta.
+
+    The geometric factors (|Sf| and the delta coefficients) are
+    memoized on the mesh, so repeated laplacian assemblies on the same
+    mesh only pay the gamma product.
+    """
     nif = mesh.n_internal_faces
-    return gamma_f[:nif] * np.linalg.norm(
-        mesh.face_areas[:nif], axis=1) * mesh.face_delta_coeffs()
+    return gamma_f[:nif] * mesh.face_area_mags()[:nif] \
+        * mesh.face_delta_coeffs()
 
 
 def fvm_div(phi: SurfaceField, field: VolField, scheme: str = "upwind") -> FVMatrix:
@@ -312,6 +399,7 @@ def fvm_div(phi: SurfaceField, field: VolField, scheme: str = "upwind") -> FVMat
     nif = mesh.n_internal_faces
     a = LDUMatrix.from_mesh(mesh)
     b = np.zeros(mesh.n_cells)
+    alloc.count()
     _div_internal(a, mesh, phi.internal, scheme)
 
     # Boundary faces: psi_f from the BC, flux from phi.
@@ -337,6 +425,7 @@ def fvm_laplacian(gamma: np.ndarray | float, field: VolField) -> FVMatrix:
     gamma_f = _face_gamma(mesh, gamma)
     a = LDUMatrix.from_mesh(mesh)
     b = np.zeros(mesh.n_cells)
+    alloc.count()
 
     coeff = _laplacian_coeff(mesh, gamma_f)
     a.upper[:] = coeff
@@ -345,7 +434,7 @@ def fvm_laplacian(gamma: np.ndarray | float, field: VolField) -> FVMatrix:
     np.add.at(a.diag, mesh.neighbour, -coeff)
 
     deltas = mesh.boundary_delta_coeffs()
-    mag_sf_b = np.linalg.norm(mesh.face_areas[nif:], axis=1)
+    mag_sf_b = mesh.face_area_mags()[nif:]
     for p in mesh.patches:
         sl = slice(p.start - nif, p.start - nif + p.size)
         cells = mesh.owner[p.slice]
@@ -362,6 +451,7 @@ def fvm_sp(coeff: np.ndarray | float, field: VolField) -> FVMatrix:
     a = LDUMatrix.from_mesh(mesh)
     a.diag[:] = np.broadcast_to(np.asarray(coeff, float), (mesh.n_cells,)) \
         * mesh.cell_volumes
+    alloc.count()
     return FVMatrix(field, a, np.zeros(mesh.n_cells))
 
 

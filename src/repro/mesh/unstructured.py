@@ -184,10 +184,17 @@ class UnstructuredMesh:
         """
         if getattr(self, "_face_weights", None) is not None:
             return self._face_weights
-        cf = self.face_centres[: self.n_internal_faces]
-        d_o = np.linalg.norm(cf - self.cell_centres[self.owner[: self.n_internal_faces]], axis=1)
-        d_n = np.linalg.norm(cf - self.cell_centres[self.neighbour], axis=1)
-        return d_n / np.maximum(d_o + d_n, 1e-300)
+        cached = getattr(self, "_memo_face_weights", None)
+        if cached is None:
+            cf = self.face_centres[: self.n_internal_faces]
+            d_o = np.linalg.norm(
+                cf - self.cell_centres[self.owner[: self.n_internal_faces]],
+                axis=1)
+            d_n = np.linalg.norm(cf - self.cell_centres[self.neighbour],
+                                 axis=1)
+            cached = d_n / np.maximum(d_o + d_n, 1e-300)
+            self._memo_face_weights = cached
+        return cached
 
     def face_delta_coeffs(self) -> np.ndarray:
         """1/|d| between owner and neighbour centres per internal face.
@@ -196,19 +203,35 @@ class UnstructuredMesh:
         """
         if getattr(self, "_face_deltas", None) is not None:
             return self._face_deltas
-        d = (
-            self.cell_centres[self.neighbour]
-            - self.cell_centres[self.owner[: self.n_internal_faces]]
-        )
-        return 1.0 / np.maximum(np.linalg.norm(d, axis=1), 1e-300)
+        cached = getattr(self, "_memo_face_deltas", None)
+        if cached is None:
+            d = (
+                self.cell_centres[self.neighbour]
+                - self.cell_centres[self.owner[: self.n_internal_faces]]
+            )
+            cached = 1.0 / np.maximum(np.linalg.norm(d, axis=1), 1e-300)
+            self._memo_face_deltas = cached
+        return cached
 
     def boundary_delta_coeffs(self) -> np.ndarray:
         """1/|d| between owner centre and face centre for boundary faces."""
         if getattr(self, "_boundary_deltas", None) is not None:
             return self._boundary_deltas
-        nif = self.n_internal_faces
-        d = self.face_centres[nif:] - self.cell_centres[self.owner[nif:]]
-        return 1.0 / np.maximum(np.linalg.norm(d, axis=1), 1e-300)
+        cached = getattr(self, "_memo_boundary_deltas", None)
+        if cached is None:
+            nif = self.n_internal_faces
+            d = self.face_centres[nif:] - self.cell_centres[self.owner[nif:]]
+            cached = 1.0 / np.maximum(np.linalg.norm(d, axis=1), 1e-300)
+            self._memo_boundary_deltas = cached
+        return cached
+
+    def face_area_mags(self) -> np.ndarray:
+        """|Sf| for every face, memoized (geometry is static)."""
+        cached = getattr(self, "_memo_face_area_mags", None)
+        if cached is None:
+            cached = np.linalg.norm(self.face_areas, axis=1)
+            self._memo_face_area_mags = cached
+        return cached
 
     def renumbered(self, perm: np.ndarray) -> "UnstructuredMesh":
         """Return a mesh with cells relabelled by ``perm``.

@@ -1,0 +1,30 @@
+"""Lightweight allocation accounting for the hot-path buffer layer.
+
+The zero-reassembly work (persistent CSR patterns, fused equation
+workspaces, Krylov vector pools) is about *not* allocating in the step
+loop.  To make that visible -- and regression-guarded -- the assembly
+and solver layers count every fresh buffer they create through this
+module, and :class:`~repro.core.deepflame.StepTimings` samples the
+counter around each step stage.  A warm fast-assembly step should
+report near-zero construction/solving allocations; the reference path
+reports hundreds.
+
+The counter is deliberately a process-global integer: it prices logical
+buffer creations (one `count()` per array materialized by our own
+code), not bytes, and costs one integer add per call.
+"""
+
+from __future__ import annotations
+
+_count = 0
+
+
+def count(n: int = 1) -> None:
+    """Record ``n`` fresh buffer allocations."""
+    global _count
+    _count += n
+
+
+def snapshot() -> int:
+    """Current cumulative allocation count (monotonic)."""
+    return _count

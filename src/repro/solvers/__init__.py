@@ -8,14 +8,20 @@ from .gamg import GAMGSolver, agglomerate
 from .pbicgstab import pbicgstab_solve
 from .pcg import REDUCTIONS_PER_PCG_ITER, pcg_solve
 from .preconditioners import (
+    CachedDICPreconditioner,
     DICPreconditioner,
+    DICStructure,
     JacobiPreconditioner,
     SymGaussSeidelPreconditioner,
 )
+from .workspace import KrylovWorkspace
 
 __all__ = [
+    "CachedDICPreconditioner",
     "DICPreconditioner",
+    "DICStructure",
     "GAMGSolver",
+    "KrylovWorkspace",
     "JacobiPreconditioner",
     "REDUCTIONS_PER_PCG_ITER",
     "SolverControls",

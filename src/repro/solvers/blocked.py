@@ -31,11 +31,24 @@ from typing import Callable
 
 import numpy as np
 
+from ..runtime import alloc
 from ..sparse.ldu import LDUMatrix
 from .controls import SolverControls, SolverResult
 from .pcg import REDUCTIONS_PER_PCG_ITER
+from .workspace import KrylovWorkspace
 
 __all__ = ["pbicgstab_solve_multi", "pcg_solve_multi"]
+
+
+def _block_x(name: str, workspace: KrylovWorkspace | None,
+             x0: np.ndarray | None, n: int, k: int) -> np.ndarray:
+    """The solution block, pooled when a workspace is supplied."""
+    if workspace is None:
+        alloc.count()
+        return np.zeros((n, k)) if x0 is None else \
+            np.array(x0, dtype=float, copy=True)
+    return workspace.zeros(name, (n, k)) if x0 is None else \
+        workspace.copy_of(name, x0)
 
 
 def _colsum_abs(r: np.ndarray) -> np.ndarray:
@@ -73,6 +86,7 @@ def pbicgstab_solve_multi(
     matvec: Callable[[np.ndarray], np.ndarray] | None = None,
     coldot: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
     colsum_abs: Callable[[np.ndarray], np.ndarray] | None = None,
+    workspace: KrylovWorkspace | None = None,
 ) -> tuple[np.ndarray, list[SolverResult]]:
     """Solve ``A X = B`` for k right-hand sides with blocked BiCGStab.
 
@@ -81,6 +95,8 @@ def pbicgstab_solve_multi(
     :class:`SolverResult` per column, as if it had been solved alone).
     ``coldot``/``colsum_abs`` override the per-column reductions (for
     distributed execution, where they allreduce per-rank partials).
+    With ``workspace``, the ``(n, k)`` solution block is a pooled
+    buffer that the next pooled solve will overwrite.
     """
     b = _check_rhs(a, b)
     n, k = b.shape
@@ -88,8 +104,7 @@ def pbicgstab_solve_multi(
     cdot = coldot if coldot is not None else _coldot
     csum = colsum_abs if colsum_abs is not None else _colsum_abs
     precond = preconditioner if preconditioner is not None else (lambda r: r)
-    x = np.zeros((n, k)) if x0 is None else \
-        np.array(x0, dtype=float, copy=True)
+    x = _block_x("bicgm.x", workspace, x0, n, k)
 
     norm_factor = csum(b) + 1e-300
     r = b - mv(x)
@@ -191,6 +206,7 @@ def pcg_solve_multi(
     matvec: Callable[[np.ndarray], np.ndarray] | None = None,
     coldot: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
     colsum_abs: Callable[[np.ndarray], np.ndarray] | None = None,
+    workspace: KrylovWorkspace | None = None,
 ) -> tuple[np.ndarray, list[SolverResult]]:
     """Solve ``A X = B`` (A symmetric positive definite) for k
     right-hand sides with blocked preconditioned CG.
@@ -199,6 +215,8 @@ def pcg_solve_multi(
     iteration serve every still-active column; converged columns are
     masked out.  Per-column reduction counts are reported in
     ``details["reductions"]`` exactly as the scalar PCG does.
+    With ``workspace``, the ``(n, k)`` solution block is a pooled
+    buffer that the next pooled solve will overwrite.
     """
     b = _check_rhs(a, b)
     n, k = b.shape
@@ -206,8 +224,7 @@ def pcg_solve_multi(
     cdot = coldot if coldot is not None else _coldot
     csum = colsum_abs if colsum_abs is not None else _colsum_abs
     precond = preconditioner if preconditioner is not None else (lambda r: r)
-    x = np.zeros((n, k)) if x0 is None else \
-        np.array(x0, dtype=float, copy=True)
+    x = _block_x("pcgm.x", workspace, x0, n, k)
 
     norm_factor = csum(b) + 1e-300
     r = b - mv(x)

@@ -66,6 +66,12 @@ class GAMGSolver:
     block:
         Optional fine-level :class:`BlockCSRMatrix` to use the
         block-parallel smoother on the finest level.
+    pattern:
+        Optional :class:`~repro.sparse.pattern.CSRPattern` for the
+        fine-level LDU->CSR conversion: the O(nnz) value scatter into
+        the pattern's cached buffers replaces the fresh scipy
+        conversion (the coarse hierarchy is then built from a copy, so
+        the solver stays valid across later pattern refills).
     """
 
     def __init__(
@@ -76,12 +82,13 @@ class GAMGSolver:
         post_sweeps: int = 2,
         max_levels: int = 20,
         block: BlockCSRMatrix | None = None,
+        pattern=None,
     ):
         self.pre_sweeps = pre_sweeps
         self.post_sweeps = post_sweeps
         self.block = block
         self.levels: list[dict] = []
-        a = ldu.to_csr()
+        a = ldu.to_csr() if pattern is None else ldu.to_csr(pattern).copy()
         for _ in range(max_levels):
             dl = sp.tril(a, 0, format="csr")
             du = sp.triu(a, 0, format="csr")

@@ -2,6 +2,12 @@
 
 Used for the asymmetric transported-scalar equations (convection makes
 the FV matrices non-symmetric under upwinding).
+
+With a :class:`~repro.solvers.workspace.KrylovWorkspace` the working
+vectors (``x``, ``r``, ``r_hat``, ``p``, ``v``, ``s`` and the axpy
+temporaries) come from a persistent pool instead of per-call
+``np.zeros``; the update formulas keep the same elementwise operation
+order either way, so pooled and cold solves agree bitwise.
 """
 
 from __future__ import annotations
@@ -10,8 +16,10 @@ from typing import Callable
 
 import numpy as np
 
+from ..runtime import alloc
 from ..sparse.ldu import LDUMatrix
 from .controls import SolverControls, SolverResult
+from .workspace import KrylovWorkspace
 
 __all__ = ["pbicgstab_solve"]
 
@@ -23,48 +31,79 @@ def pbicgstab_solve(
     preconditioner: Callable[[np.ndarray], np.ndarray] | None = None,
     controls: SolverControls = SolverControls(),
     matvec: Callable[[np.ndarray], np.ndarray] | None = None,
+    workspace: KrylovWorkspace | None = None,
 ) -> tuple[np.ndarray, SolverResult]:
-    """Solve the (possibly asymmetric) system ``A x = b`` with BiCGStab."""
+    """Solve the (possibly asymmetric) system ``A x = b`` with BiCGStab.
+
+    With ``workspace``, the returned ``x`` is a pooled buffer that the
+    next pooled solve will overwrite -- copy it out if it must survive.
+    """
     n = a.n
     mv = matvec if matvec is not None else a.matvec
     precond = preconditioner if preconditioner is not None else (lambda r: r)
-    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=float).copy()
     b = np.asarray(b, dtype=float)
+    if workspace is None:
+        alloc.count(7)
+        x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=float).copy()
+        r, r_hat, s = np.empty(n), np.empty(n), np.empty(n)
+        v, p = np.zeros(n), np.zeros(n)
+        tmp, tmp2 = np.empty(n), np.empty(n)
+    else:
+        x = workspace.zeros("bicg.x", (n,)) if x0 is None else \
+            workspace.copy_of("bicg.x", x0)
+        r = workspace.get("bicg.r", (n,))
+        r_hat = workspace.get("bicg.r_hat", (n,))
+        s = workspace.get("bicg.s", (n,))
+        v = workspace.zeros("bicg.v", (n,))
+        p = workspace.zeros("bicg.p", (n,))
+        tmp = workspace.get("bicg.tmp", (n,))
+        tmp2 = workspace.get("bicg.tmp2", (n,))
 
     norm_factor = np.sum(np.abs(b)) + 1e-300
-    r = b - mv(x)
+    np.subtract(b, mv(x), out=r)
     res0 = float(np.sum(np.abs(r)) / norm_factor)
     res = res0
     flops = 2 * a.nnz + 2 * n
     if controls.converged(res, res0):
         return x, SolverResult("PBiCGStab", 0, res0, res, True, flops)
 
-    r_hat = r.copy()
+    np.copyto(r_hat, r)
     rho_old = alpha = omega = 1.0
-    v = np.zeros(n)
-    p = np.zeros(n)
     it = 0
     for it in range(1, controls.max_iterations + 1):
         rho = float(r_hat @ r)
         if abs(rho) < 1e-300:
             break
         beta = (rho / rho_old) * (alpha / omega)
-        p = r + beta * (p - omega * v)
+        # p = r + beta * (p - omega * v), evaluated in the same
+        # elementwise order as the allocating expression.
+        np.multiply(v, omega, out=tmp)
+        np.subtract(p, tmp, out=p)
+        np.multiply(p, beta, out=p)
+        np.add(p, r, out=p)
         p_hat = precond(p)
         v = mv(p_hat)
         alpha = rho / float(r_hat @ v)
-        s = r - alpha * v
+        np.multiply(v, alpha, out=tmp)
+        np.subtract(r, tmp, out=s)
         flops += 2 * a.nnz + 10 * n
         res = float(np.sum(np.abs(s)) / norm_factor)
         if controls.converged(res, res0):
-            x += alpha * p_hat
+            np.multiply(p_hat, alpha, out=tmp)
+            x += tmp
             return x, SolverResult("PBiCGStab", it, res0, res, True, flops)
         s_hat = precond(s)
         t = mv(s_hat)
         tt = float(t @ t)
         omega = float(t @ s) / tt if tt > 0 else 0.0
-        x += alpha * p_hat + omega * s_hat
-        r = s - omega * t
+        # x += alpha * p_hat + omega * s_hat
+        np.multiply(p_hat, alpha, out=tmp)
+        np.multiply(s_hat, omega, out=tmp2)
+        np.add(tmp, tmp2, out=tmp)
+        x += tmp
+        # r = s - omega * t
+        np.multiply(t, omega, out=tmp)
+        np.subtract(s, tmp, out=r)
         rho_old = rho
         flops += 2 * a.nnz + 10 * n
         res = float(np.sum(np.abs(r)) / norm_factor)

@@ -4,6 +4,12 @@ Used for the symmetric pressure equation.  Instrumented with flop
 counting (SpMV + vector ops) and the count of global reductions per
 iteration -- the Allreduce operations that dominate strong-scaling
 communication in the paper (Sec. 5.3).
+
+With a :class:`~repro.solvers.workspace.KrylovWorkspace` the working
+vectors (``x``, ``r``, ``p`` and the axpy temporary) come from a
+persistent pool instead of per-call ``np.zeros``; the update formulas
+are evaluated with the same elementwise operation order either way, so
+pooled and cold solves agree bitwise.
 """
 
 from __future__ import annotations
@@ -12,8 +18,10 @@ from typing import Callable
 
 import numpy as np
 
+from ..runtime import alloc
 from ..sparse.ldu import LDUMatrix
 from .controls import SolverControls, SolverResult
+from .workspace import KrylovWorkspace
 
 __all__ = ["pcg_solve", "REDUCTIONS_PER_PCG_ITER"]
 
@@ -28,20 +36,32 @@ def pcg_solve(
     preconditioner: Callable[[np.ndarray], np.ndarray] | None = None,
     controls: SolverControls = SolverControls(),
     matvec: Callable[[np.ndarray], np.ndarray] | None = None,
+    workspace: KrylovWorkspace | None = None,
 ) -> tuple[np.ndarray, SolverResult]:
     """Solve ``A x = b`` with preconditioned CG.
 
     ``matvec`` overrides the LDU product (e.g. to route through the
     block-CSR kernel); the matrix must be symmetric positive definite.
+    With ``workspace``, the returned ``x`` is a pooled buffer that the
+    next pooled solve will overwrite -- copy it out if it must survive.
     """
     n = a.n
     mv = matvec if matvec is not None else a.matvec
     precond = preconditioner if preconditioner is not None else (lambda r: r)
-    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=float).copy()
     b = np.asarray(b, dtype=float)
+    if workspace is None:
+        alloc.count(4)
+        x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=float).copy()
+        r, p, tmp = np.empty(n), np.empty(n), np.empty(n)
+    else:
+        x = workspace.zeros("pcg.x", (n,)) if x0 is None else \
+            workspace.copy_of("pcg.x", x0)
+        r = workspace.get("pcg.r", (n,))
+        p = workspace.get("pcg.p", (n,))
+        tmp = workspace.get("pcg.tmp", (n,))
 
     norm_factor = np.sum(np.abs(b)) + 1e-300
-    r = b - mv(x)
+    np.subtract(b, mv(x), out=r)
     res0 = float(np.sum(np.abs(r)) / norm_factor)
     res = res0
     flops = 2 * a.nnz + 2 * n
@@ -50,14 +70,16 @@ def pcg_solve(
         return x, SolverResult("PCG", 0, res0, res, True, flops)
 
     z = precond(r)
-    p = z.copy()
+    np.copyto(p, z)
     rz = float(r @ z)
     it = 0
     for it in range(1, controls.max_iterations + 1):
         ap = mv(p)
         alpha = rz / float(p @ ap)
-        x += alpha * p
-        r -= alpha * ap
+        np.multiply(p, alpha, out=tmp)
+        x += tmp
+        np.multiply(ap, alpha, out=tmp)
+        r -= tmp
         flops += 2 * a.nnz + 6 * n
         res = float(np.sum(np.abs(r)) / norm_factor)
         if controls.converged(res, res0):
@@ -66,7 +88,8 @@ def pcg_solve(
         z = precond(r)
         rz_new = float(r @ z)
         beta = rz_new / rz
-        p = z + beta * p
+        np.multiply(p, beta, out=p)
+        np.add(p, z, out=p)
         rz = rz_new
         flops += 4 * n
     return x, SolverResult("PCG", it, res0, res, False, flops,

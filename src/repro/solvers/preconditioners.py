@@ -15,12 +15,15 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.sparse.linalg import spsolve_triangular
 
+from ..runtime import alloc
 from ..sparse.block_csr import BlockCSRMatrix
 from ..sparse.ldu import LDUMatrix
 
 __all__ = [
     "JacobiPreconditioner",
     "DICPreconditioner",
+    "DICStructure",
+    "CachedDICPreconditioner",
     "SymGaussSeidelPreconditioner",
 ]
 
@@ -29,7 +32,14 @@ class JacobiPreconditioner:
     """w = r / diag(A)."""
 
     def __init__(self, ldu: LDUMatrix):
+        alloc.count()
         self.r_diag = 1.0 / ldu.diag
+
+    def refresh(self, ldu: LDUMatrix) -> "JacobiPreconditioner":
+        """Value-only update into the existing reciprocal buffer (for
+        workspace reuse across solves of in-place-updated matrices)."""
+        np.divide(1.0, ldu.diag, out=self.r_diag)
+        return self
 
     def apply(self, r: np.ndarray) -> np.ndarray:
         return r * self.r_diag
@@ -82,6 +92,144 @@ class DICPreconditioner:
     def apply_multi(self, r: np.ndarray) -> np.ndarray:
         """Apply to ``(n, k)``: one pair of face sweeps covers all k
         columns, amortizing the sequential-sweep cost k-fold."""
+        if r.ndim == 1:
+            return self.apply(r)
+        return self._sweeps(r * self.r_d[:, None])
+
+
+class DICStructure:
+    """Value-independent part of the DIC factorization, built once.
+
+    Holds the canonicalized (owner < neighbour) ascending-owner face
+    ordering of :class:`DICPreconditioner` *plus* a wavefront level
+    schedule of both face sweeps: faces are grouped into levels such
+    that within a level no face reads a cell another face of the level
+    writes, and no two faces write the same cell.  Processing the
+    levels in order with one vectorized fancy-indexed update each is
+    then **bitwise identical** to the sequential face loop -- but costs
+    O(n_levels) numpy calls instead of O(n_faces) Python iterations
+    (~50 levels vs ~17k faces on the 18^3 TGV mesh).
+
+    The structure depends only on the sparsity pattern, so one instance
+    per mesh serves every matrix refresh (the "value-only refresh of
+    cached factor structure" of the zero-reassembly hot path).
+    """
+
+    def __init__(self, owner: np.ndarray, neighbour: np.ndarray, n: int):
+        self.n = int(n)
+        own = np.asarray(owner, dtype=np.int64).copy()
+        nb = np.asarray(neighbour, dtype=np.int64).copy()
+        flip = own > nb
+        own[flip], nb[flip] = nb[flip], own[flip]
+        order = np.lexsort((nb, own))
+        self.order = order
+        self.own = own[order]
+        self.nb = nb[order]
+        m = order.size
+
+        # Forward schedule (factor loop + forward sweep): face f reads
+        # own[f], read-modify-writes nb[f], in ascending face order.
+        lev = np.zeros(m, dtype=np.int64)
+        written = np.zeros(self.n, dtype=np.int64)
+        for f in range(m):
+            level = max(written[self.own[f]], written[self.nb[f]]) + 1
+            lev[f] = level
+            written[self.nb[f]] = level
+        self.fwd_sort = np.argsort(lev, kind="stable")
+        self.fwd_own = self.own[self.fwd_sort]
+        self.fwd_nb = self.nb[self.fwd_sort]
+        self.fwd_bounds = self._bounds(lev[self.fwd_sort])
+
+        # Backward schedule (backward sweep): descending face order,
+        # face f reads nb[f], read-modify-writes own[f].
+        levb = np.zeros(m, dtype=np.int64)
+        written[:] = 0
+        for f in range(m - 1, -1, -1):
+            level = max(written[self.own[f]], written[self.nb[f]]) + 1
+            levb[f] = level
+            written[self.own[f]] = level
+        self.bwd_sort = np.argsort(levb, kind="stable")
+        self.bwd_own = self.own[self.bwd_sort]
+        self.bwd_nb = self.nb[self.bwd_sort]
+        self.bwd_bounds = self._bounds(levb[self.bwd_sort])
+
+    @staticmethod
+    def _bounds(sorted_levels: np.ndarray) -> np.ndarray:
+        if sorted_levels.size == 0:
+            return np.zeros(1, dtype=np.int64)
+        counts = np.bincount(sorted_levels)[1:]
+        return np.concatenate(([0], np.cumsum(counts)))
+
+    @classmethod
+    def from_ldu(cls, ldu: LDUMatrix) -> "DICStructure":
+        return cls(ldu.owner, ldu.neighbour, ldu.n)
+
+
+class CachedDICPreconditioner:
+    """DIC with a cached structure and value-only refresh.
+
+    Produces bitwise-identical results to :class:`DICPreconditioner`
+    (the faces are processed in the same canonical order with the same
+    per-face arithmetic) while replacing both the O(n_faces) Python
+    factor loop and the per-application sweep loops with vectorized
+    wavefront-level updates.  Reuse one instance across solves of
+    matrices sharing a sparsity pattern and call :meth:`refresh` after
+    the values change.
+    """
+
+    def __init__(self, ldu: LDUMatrix, structure: DICStructure | None = None):
+        self.struct = structure if structure is not None \
+            else DICStructure.from_ldu(ldu)
+        m = self.struct.order.size
+        self._upper = np.empty(m)
+        self._fwd_up = np.empty(m)
+        self._bwd_up = np.empty(m)
+        self._dfac = np.empty(self.struct.n)
+        self.r_d = np.empty(self.struct.n)
+        self._fwd_coef = np.empty(m)
+        self._bwd_coef = np.empty(m)
+        alloc.count(7)
+        self.refresh(ldu)
+
+    def refresh(self, ldu: LDUMatrix) -> "CachedDICPreconditioner":
+        """Recompute the modified diagonal from the current values."""
+        if not ldu.is_symmetric(tol=0.0):
+            raise ValueError("DIC requires a symmetric LDU matrix")
+        s = self.struct
+        np.take(ldu.upper, s.order, out=self._upper)
+        np.take(self._upper, s.fwd_sort, out=self._fwd_up)
+        np.take(self._upper, s.bwd_sort, out=self._bwd_up)
+        dfac = self._dfac
+        dfac[:] = ldu.diag
+        b = s.fwd_bounds
+        for i in range(b.size - 1):
+            sl = slice(b[i], b[i + 1])
+            dfac[s.fwd_nb[sl]] -= self._fwd_up[sl] ** 2 / dfac[s.fwd_own[sl]]
+        np.divide(1.0, dfac, out=self.r_d)
+        # rd[target] * up fused once per refresh; the sweeps below then
+        # evaluate (rd*up)*w exactly as the sequential reference does.
+        np.multiply(self.r_d[s.fwd_nb], self._fwd_up, out=self._fwd_coef)
+        np.multiply(self.r_d[s.bwd_own], self._bwd_up, out=self._bwd_coef)
+        return self
+
+    def _sweeps(self, w: np.ndarray) -> np.ndarray:
+        s = self.struct
+        fwd = self._fwd_coef[:, None] if w.ndim == 2 else self._fwd_coef
+        bwd = self._bwd_coef[:, None] if w.ndim == 2 else self._bwd_coef
+        b = s.fwd_bounds
+        for i in range(b.size - 1):
+            sl = slice(b[i], b[i + 1])
+            w[s.fwd_nb[sl]] -= fwd[sl] * w[s.fwd_own[sl]]
+        b = s.bwd_bounds
+        for i in range(b.size - 1):
+            sl = slice(b[i], b[i + 1])
+            w[s.bwd_own[sl]] -= bwd[sl] * w[s.bwd_nb[sl]]
+        return w
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        return self._sweeps(r * self.r_d)
+
+    def apply_multi(self, r: np.ndarray) -> np.ndarray:
         if r.ndim == 1:
             return self.apply(r)
         return self._sweeps(r * self.r_d[:, None])

@@ -1,0 +1,57 @@
+"""Persistent Krylov vector workspace.
+
+Every PCG / PBiCGStab call used to allocate its full working set
+(``x``, ``r``, ``p``, ``v``, ``s``, ...) with ``np.zeros`` / ``copy``;
+over a DeepFlame step that is dozens of allocations per solve times
+~10 solves per step.  :class:`KrylovWorkspace` is a tiny named-buffer
+pool: a solver asks for ``("pcg.r", (n,))`` and gets the *same* array
+every call, so a warm step performs zero solver-vector allocations.
+
+The pooled paths are arranged to be **bitwise identical** to the cold
+paths: buffers are refilled with the exact values the cold code would
+have constructed, and in-place updates preserve the original
+elementwise operation order (IEEE addition/multiplication are
+commutative, so ``np.add(p, r, out=p)`` reproduces ``r + p`` exactly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime import alloc
+
+__all__ = ["KrylovWorkspace"]
+
+
+class KrylovWorkspace:
+    """Named, shape-keyed pool of persistent solver vectors."""
+
+    def __init__(self):
+        self._bufs: dict[tuple, np.ndarray] = {}
+
+    def get(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
+        """The persistent buffer for ``(name, shape)`` (contents are
+        whatever the previous user left -- callers must overwrite)."""
+        key = (name,) + tuple(shape)
+        buf = self._bufs.get(key)
+        if buf is None:
+            buf = self._bufs[key] = np.empty(shape)
+            alloc.count()
+        return buf
+
+    def zeros(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
+        buf = self.get(name, shape)
+        buf[:] = 0.0
+        return buf
+
+    def copy_of(self, name: str, values: np.ndarray) -> np.ndarray:
+        """A pooled copy of ``values`` (the pooled replacement of
+        ``np.asarray(values, float).copy()``)."""
+        values = np.asarray(values, dtype=float)
+        buf = self.get(name, values.shape)
+        np.copyto(buf, values)
+        return buf
+
+    @property
+    def n_buffers(self) -> int:
+        return len(self._bufs)

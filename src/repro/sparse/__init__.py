@@ -11,13 +11,21 @@ from .convert import (
     build_block_converter,
     row_ranges_from_membership,
 )
-from .gauss_seidel import SmootherStats, gauss_seidel_block, gauss_seidel_csr
+from .gauss_seidel import (
+    GaussSeidelSmoother,
+    SmootherStats,
+    gauss_seidel_block,
+    gauss_seidel_csr,
+)
 from .ldu import LDUMatrix
+from .pattern import CSRPattern
 from .spmv import SpmvCost, spmv_block, spmv_cost, spmv_ldu, spmv_ldu_multi
 
 __all__ = [
     "BlockCSRMatrix",
     "BlockConverter",
+    "CSRPattern",
+    "GaussSeidelSmoother",
     "LDUMatrix",
     "SmootherStats",
     "SpmvCost",

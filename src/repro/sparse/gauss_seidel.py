@@ -16,8 +16,10 @@ from scipy.sparse.linalg import spsolve_triangular
 
 from .block_csr import BlockCSRMatrix
 from .ldu import LDUMatrix
+from .pattern import CSRPattern
 
-__all__ = ["gauss_seidel_csr", "gauss_seidel_block", "SmootherStats"]
+__all__ = ["GaussSeidelSmoother", "gauss_seidel_csr", "gauss_seidel_block",
+           "SmootherStats"]
 
 
 def _tri_split(a: sp.csr_matrix):
@@ -82,15 +84,47 @@ def gauss_seidel_block(
     return x
 
 
+class GaussSeidelSmoother:
+    """Serial GS sweeps over a persistent CSR + triangle-view cache.
+
+    Constructing the smoother used to rebuild the scipy CSR *and*
+    re-extract its tril/triu triangle factors from scratch; this class
+    instead owns a :class:`~repro.sparse.pattern.CSRPattern` (built
+    once per sparsity, shareable between smoothers, stat collectors and
+    the GAMG fine level) and refreshes matrix + triangle *values* in
+    O(nnz) with no sorting or allocation.  Call :meth:`refresh` after
+    the LDU coefficients change in place.
+    """
+
+    def __init__(self, ldu: LDUMatrix, pattern: CSRPattern | None = None):
+        self.pattern = pattern if pattern is not None \
+            else CSRPattern.from_ldu(ldu)
+        self.refresh(ldu)
+
+    def refresh(self, ldu: LDUMatrix) -> "GaussSeidelSmoother":
+        """Value-only update of the cached CSR and triangle views."""
+        self.csr = self.pattern.csr(ldu)
+        self.tri = self.pattern.tri_split()
+        return self
+
+    def sweep(self, b: np.ndarray, x: np.ndarray, sweeps: int = 1,
+              ) -> np.ndarray:
+        """``sweeps`` exact forward GS sweeps from ``x``."""
+        return gauss_seidel_csr(self.csr, b, x, sweeps, tri=self.tri)
+
+
 class SmootherStats:
     """Compare residual decay of serial vs block-parallel GS."""
 
-    def __init__(self, ldu: LDUMatrix, block: BlockCSRMatrix):
-        self.csr = ldu.to_csr()
+    def __init__(self, ldu: LDUMatrix, block: BlockCSRMatrix,
+                 pattern: CSRPattern | None = None):
+        # The serial sweeps run through a pattern-cached smoother: the
+        # CSR and its triangle factors are built once and value-only
+        # refreshed, instead of re-extracted per construction.
+        self._smoother = GaussSeidelSmoother(ldu, pattern=pattern)
+        self.csr = self._smoother.csr
         self.block = block
-        # Split the triangle factors once; the sweeps below reuse them
-        # instead of re-extracting tril/triu per sweep.
-        self._tri_csr = _tri_split(self.csr)
+        self._tri_csr = self._smoother.tri
         self._tri_block = [
             _tri_split(block.blocks[i][i])
             if block.blocks[i][i] is not None else None

@@ -14,6 +14,8 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from ..runtime import alloc
+
 __all__ = ["LDUMatrix"]
 
 
@@ -38,6 +40,8 @@ class LDUMatrix:
         nif = self.owner.size
         if self.neighbour.size != nif:
             raise ValueError("owner and neighbour must have equal length")
+        if diag is None or lower is None or upper is None:
+            alloc.count((diag is None) + (lower is None) + (upper is None))
         self.diag = np.zeros(self.n) if diag is None else np.asarray(diag, float)
         self.lower = np.zeros(nif) if lower is None else np.asarray(lower, float)
         self.upper = np.zeros(nif) if upper is None else np.asarray(upper, float)
@@ -51,6 +55,7 @@ class LDUMatrix:
         return self.n + 2 * self.owner.size
 
     def copy(self) -> "LDUMatrix":
+        alloc.count(3)
         return LDUMatrix(self.n, self.owner, self.neighbour,
                          self.diag.copy(), self.lower.copy(), self.upper.copy())
 
@@ -90,8 +95,18 @@ class LDUMatrix:
         return np.asarray(b, float) - self.matvec(x)
 
     # ----------------------------------------------------------------
-    def to_csr(self) -> sp.csr_matrix:
-        """Convert to scipy CSR (reference path for validation)."""
+    def to_csr(self, pattern=None) -> sp.csr_matrix:
+        """Convert to scipy CSR.
+
+        With ``pattern`` (a :class:`~repro.sparse.pattern.CSRPattern`
+        built once for this sparsity) the conversion is an O(nnz) value
+        scatter into the pattern's preallocated buffers -- no sorting,
+        no allocation.  Without it, the fresh scipy conversion below is
+        the reference path for validation.
+        """
+        if pattern is not None:
+            return pattern.csr(self)
+        alloc.count(4)
         rows = np.concatenate([np.arange(self.n), self.owner, self.neighbour])
         cols = np.concatenate([np.arange(self.n), self.neighbour, self.owner])
         vals = np.concatenate([self.diag, self.upper, self.lower])
@@ -132,6 +147,7 @@ class LDUMatrix:
     def __add__(self, other: "LDUMatrix") -> "LDUMatrix":
         if other.n != self.n or other.n_faces != self.n_faces:
             raise ValueError("incompatible LDU shapes")
+        alloc.count(3)
         return LDUMatrix(self.n, self.owner, self.neighbour,
                          self.diag + other.diag,
                          self.lower + other.lower,

@@ -84,6 +84,11 @@ class CubicEos:
         da_dt = self.mixing.mix_derivative(a_i, da_i, x)
         return a_mix, b_mix, da_dt
 
+    #: Solve all cells' cubics with one batched companion-matrix
+    #: eigenvalue call (the hot path).  False falls back to the
+    #: per-cell ``np.roots`` loop kept as the validation reference.
+    batched_roots: bool = True
+
     # ----------------------------------------------------------------
     def compressibility(self, t, p, x, root: str = "vapor") -> np.ndarray:
         """Compressibility factor Z from the cubic, vectorized.
@@ -92,6 +97,13 @@ class CubicEos:
         (smallest valid root) or ``"gibbs"`` (minimum Gibbs energy).
         At supercritical conditions the cubic generally has a single
         real root and the choice is moot.
+
+        With :attr:`batched_roots` (default) every cell's cubic is
+        solved by one batched eigenvalue call on the stacked 3x3
+        companion matrices -- the *same* matrix ``np.roots`` builds per
+        cell, so the roots (and the selected Z) are bitwise identical
+        to the reference loop while the per-cell Python and
+        ``np.roots`` overhead (~100 us/cell) disappears.
         """
         t = np.atleast_1d(np.asarray(t, dtype=float))
         p = np.broadcast_to(np.asarray(p, dtype=float), t.shape)
@@ -105,6 +117,8 @@ class CubicEos:
         c2 = -(1.0 + big_b - u * big_b)
         c1 = big_a + w * big_b**2 - u * big_b - u * big_b**2
         c0 = -(big_a * big_b + w * big_b**2 + w * big_b**3)
+        if self.batched_roots:
+            return self._select_roots_batched(c2, c1, c0, big_a, big_b, root)
         z = np.empty_like(t)
         for k in range(t.size):
             roots = np.roots([1.0, c2[k], c1[k], c0[k]])
@@ -118,6 +132,41 @@ class CubicEos:
                 z[k] = real.min()
             else:  # gibbs: pick the root with lower fugacity
                 z[k] = self._gibbs_root(real, big_a[k], big_b[k])
+        return z
+
+    def _select_roots_batched(self, c2, c1, c0, big_a, big_b,
+                              root: str) -> np.ndarray:
+        """Batched cubic roots + the reference selection logic.
+
+        Builds the stacked companion matrices (first row
+        ``[-c2, -c1, -c0]``, ones on the subdiagonal -- exactly what
+        ``np.roots`` constructs) and takes their eigenvalues in one
+        LAPACK gufunc sweep.
+        """
+        n = c2.size
+        comp = np.zeros((n, 3, 3))
+        comp[:, 0, 0] = -c2
+        comp[:, 0, 1] = -c1
+        comp[:, 0, 2] = -c0
+        comp[:, 1, 0] = 1.0
+        comp[:, 2, 1] = 1.0
+        roots = np.linalg.eigvals(comp)  # (n, 3) complex
+        real = roots.real
+        valid = (np.abs(roots.imag) < 1e-9) & (real > big_b[:, None])
+        count = valid.sum(axis=1)
+        z_vapor = np.where(valid, real, -np.inf).max(axis=1)
+        z_none = np.maximum(real.max(axis=1), big_b * 1.001)
+        if root == "vapor":
+            z = np.where(count == 0, z_none, z_vapor)
+        else:
+            z_liquid = np.where(valid, real, np.inf).min(axis=1)
+            z = np.where(count == 0, z_none,
+                         np.where(count == 1, z_vapor,
+                                  z_liquid if root == "liquid" else z_vapor))
+            if root == "gibbs":
+                for k in np.flatnonzero(count > 1):
+                    z[k] = self._gibbs_root(real[k][valid[k]],
+                                            big_a[k], big_b[k])
         return z
 
     def _gibbs_root(self, zs: np.ndarray, big_a: float, big_b: float) -> float:
