@@ -38,9 +38,21 @@ migrate to underloaded ranks through the same ledgered fabric
 chemistry-balance ledger summary (cells migrated, migration traffic,
 executed vs static rank imbalance).
 
+Every flag above sets one field of a single validated
+``repro.core.SolverSettings`` object -- the unified configuration the
+solvers are built from (``DeepFlameSolver.from_settings`` /
+``DecomposedSolver.from_settings``).  ``--sweep key=v1,v2,...`` fans
+that settings object out over an in-process ensemble
+(``repro.orchestrate.Ensemble``): one instance per value, sharing one
+mesh/mechanism/workspace, with the per-instance cost table and the
+shared-memory footprint printed at the end.  The key may be a dotted
+settings path, e.g. ``scalar_controls.tolerance``.
+
 Run:  python examples/quickstart.py [--chemistry direct] [--steps 5]
       python examples/quickstart.py --ranks 4
       python examples/quickstart.py --ranks 4 --balance dynamic
+      python examples/quickstart.py --sweep n_correctors=1,2,3
+      python examples/quickstart.py --sweep scalar_controls.tolerance=1e-6,1e-9,1e-12
 """
 
 import argparse
@@ -54,8 +66,10 @@ from repro.core import (
     HybridChemistry,
     NoChemistry,
     ODENetChemistry,
+    SolverSettings,
     build_tgv_case,
 )
+from repro.orchestrate import Ensemble
 from repro.solvers import SolverControls
 
 CHOICES = ("none", "percell", "direct", "surrogate", "hybrid")
@@ -67,8 +81,8 @@ def measure_transport_speedup(case_builder, dt: float, steps: int = 2):
     mode on fresh solvers over identical frozen-chemistry steps."""
     per_step = {}
     for mode in TRANSPORT_CHOICES:
-        solver = DeepFlameSolver(case_builder(), chemistry=NoChemistry(),
-                                 transport=mode)
+        solver = DeepFlameSolver.from_settings(
+            case_builder(), SolverSettings(transport=mode))
         total = 0.0
         for _ in range(steps):
             solver.step(dt)
@@ -131,7 +145,8 @@ def run_decomposed(args, mech, dt: float) -> None:
     from repro.chemistry import DirectBatchBackend
     from repro.dist import DecomposedSolver
 
-    tight = dict(
+    settings = SolverSettings(
+        ranks=args.ranks, balance_chemistry=args.balance,
         scalar_controls=SolverControls(tolerance=1e-12, max_iterations=500),
         pressure_controls=SolverControls(tolerance=1e-12,
                                          max_iterations=1000),
@@ -153,9 +168,11 @@ def run_decomposed(args, mech, dt: float) -> None:
 
     print(f"\nDecomposed execution over {args.ranks} ranks "
           "(vs the serial solver, tight tolerances) ...")
-    serial = DeepFlameSolver(case(), chemistry=chem(), **tight)
-    dist = DecomposedSolver(case(), args.ranks, chemistry=chem(),
-                            balance_chemistry=args.balance, **tight)
+    serial = DeepFlameSolver.from_settings(
+        case(), settings.overlay(ranks=0, balance_chemistry="none"),
+        chemistry=chem())
+    dist = DecomposedSolver.from_settings(case(), settings,
+                                          chemistry=chem())
     stats = dist.decomp.stats()
     print(f"  partition: cells/rank {stats['cells_per_rank']}, "
           f"{stats['cut_faces']} cut faces, "
@@ -173,10 +190,10 @@ def run_decomposed(args, mech, dt: float) -> None:
         print(f"  {dist.step_count:4d}  {d_y:.3e}  {d_t:.3e}  {d_p:.3e}"
               f"  {c['messages']:5d} {c['bytes']/1024:9.1f}"
               f"  {c['allreduces']:6d} {c['allreduce_bytes']:9d}")
-    led = dist.comm.ledger
-    print(f"  cumulative ledger: {led.messages} messages / "
-          f"{led.bytes_sent/1024:.1f} KiB halo traffic, "
-          f"{led.allreduces} allreduces / {led.allreduce_bytes} B")
+    led = dist.comm.ledger.totals()
+    print(f"  cumulative ledger: {led['messages']} messages / "
+          f"{led['bytes']/1024:.1f} KiB halo traffic, "
+          f"{led['allreduces']} allreduces / {led['allreduce_bytes']} B")
     if balancing and dist.last_balance is not None:
         rep = dist.last_balance
         print(f"\nChemistry-balance ledger ({rep.mode}, last step):")
@@ -190,6 +207,54 @@ def run_decomposed(args, mech, dt: float) -> None:
               + " ".join(f"{w:8.0f}" for w in rep.owner_work))
         print("  per-rank work  executed: "
               + " ".join(f"{w:8.0f}" for w in rep.executed_work))
+
+
+def _coerce(text: str):
+    """Parse one swept value: bool/int/float when it looks like one,
+    else the raw string (e.g. a chemistry mode name)."""
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    for parse in (int, float):
+        try:
+            return parse(text)
+        except ValueError:
+            pass
+    return text
+
+
+def run_sweep(args, base: SolverSettings, dt: float) -> None:
+    """Fan the base settings over an in-process ensemble.
+
+    One instance per swept value, all sharing a single mesh,
+    mechanism, property evaluator and equation workspace; ends with
+    the per-instance cost table and the shared-memory footprint vs
+    running the same sweep as independent solvers.
+    """
+    key, _, raw = args.sweep.partition("=")
+    if not raw:
+        raise SystemExit("--sweep expects key=v1,v2,...")
+    values = [_coerce(v) for v in raw.split(",")]
+    print(f"\nSweeping {key!r} over {values} "
+          f"({len(values)} ensemble instances, one shared case) ...")
+    ens = Ensemble.sweep(lambda: build_tgv_case(n=args.n),
+                         base, key, values)
+    ens.run(args.steps, dt)
+
+    for inst, value in zip(ens, values):
+        d = inst.solver.last_diag
+        print(f"  {inst.name}: {key}={value!r} -> "
+              f"T [{d.t_min:.1f}, {d.t_max:.1f}] K, "
+              f"|U|max {d.max_velocity:.2f} m/s, "
+              f"iters {d.solver_iterations}")
+
+    print("\nEnsemble cost report (ledgered):")
+    for line in ens.cost_report().table():
+        print("  " + line)
+    mem = ens.memory_report()
+    print(f"\nShared-cache memory: {mem['ensemble_bytes']/1e6:.2f} MB for "
+          f"the ensemble vs {mem['independent_bytes']/1e6:.2f} MB for "
+          f"{len(ens)} independent solvers "
+          f"({mem['ratio']:.2f}x)")
 
 
 def main() -> None:
@@ -223,11 +288,31 @@ def main() -> None:
     ap.add_argument("--no-fast-assembly", action="store_true",
                     help="use the allocating reference assembly path "
                          "instead of the zero-reassembly workspace")
+    ap.add_argument("--sweep", metavar="KEY=V1,V2,...", default=None,
+                    help="instead of one run, fan the configured "
+                         "settings over an in-process ensemble: one "
+                         "instance per value of the (possibly dotted) "
+                         "settings field KEY, sharing one "
+                         "mesh/mechanism/workspace; prints the "
+                         "per-instance cost table and the shared-memory "
+                         "footprint (e.g. --sweep n_correctors=1,2,3)")
     ap.add_argument("--steps", type=int, default=5)
     ap.add_argument("--n", type=int, default=16, help="cells per side")
     args = ap.parse_args()
     if args.balance != "none" and args.ranks <= 0:
         ap.error("--balance requires --ranks N")
+
+    # Every flag lands in one validated settings object; the solvers
+    # below are built from it.
+    settings = SolverSettings(
+        chemistry="none",  # the demo backends are built explicitly
+        transport=args.transport,
+        fast_assembly=not args.no_fast_assembly)
+    dt = 1e-8  # the paper's 10 ns step
+
+    if args.sweep:
+        run_sweep(args, settings, dt)
+        return
 
     print(f"Building the supercritical TGV case ({args.n}^3 cells, 10 MPa)...")
     case = build_tgv_case(n=args.n)
@@ -237,11 +322,9 @@ def main() -> None:
           f"{case.temperature.max():.0f}] K, p = "
           f"{case.pressure.values[0]/1e6:.0f} MPa")
 
-    dt = 1e-8  # the paper's 10 ns step
     chemistry = build_chemistry(args.chemistry, case.mech, case, dt)
-    solver = DeepFlameSolver(case, chemistry=chemistry,
-                             transport=args.transport,
-                             fast_assembly=not args.no_fast_assembly)
+    solver = DeepFlameSolver.from_settings(case, settings,
+                                           chemistry=chemistry)
     print(f"  initial density range: [{solver.rho.min():.1f}, "
           f"{solver.rho.max():.1f}] kg/m^3 (real-fluid Peng-Robinson)")
 

@@ -18,6 +18,15 @@ from .chemistry_source import (
     ODENetChemistry,
 )
 from .deepflame import DeepFlameSolver, StepDiagnostics, StepTimings
+from .settings import (
+    BALANCE_MODES,
+    CHEMISTRY_MODES,
+    PARTITION_METHODS,
+    TRANSPORT_MODES,
+    SolverSettings,
+    build_chemistry,
+    build_solver,
+)
 from .properties import (
     DirectRealFluidProperties,
     IdealGasProperties,
@@ -26,8 +35,10 @@ from .properties import (
 )
 
 __all__ = [
+    "BALANCE_MODES",
     "BackendChemistry",
     "BatchedChemistry",
+    "CHEMISTRY_MODES",
     "Case",
     "ChemistryStats",
     "DeepFlameSolver",
@@ -37,11 +48,16 @@ __all__ = [
     "IdealGasProperties",
     "NoChemistry",
     "ODENetChemistry",
+    "PARTITION_METHODS",
     "PRNetProperties",
     "PropertySet",
+    "SolverSettings",
     "StepDiagnostics",
     "StepTimings",
+    "TRANSPORT_MODES",
+    "build_chemistry",
     "build_hotspot_tgv_case",
     "build_rocket_case",
+    "build_solver",
     "build_tgv_case",
 ]

@@ -60,6 +60,8 @@ from ..solvers.controls import SolverControls
 from .cases import Case
 from .chemistry_source import BackendChemistry, ChemistryStats, NoChemistry
 from .properties import DirectRealFluidProperties
+from .settings import _UNSET, SolverSettings, build_chemistry, \
+    resolve_settings
 
 __all__ = ["StepTimings", "StepDiagnostics", "DeepFlameSolver"]
 
@@ -157,19 +159,27 @@ class DeepFlameSolver:
         case: Case,
         properties=None,
         chemistry=None,
-        scalar_controls: SolverControls = SolverControls(
-            tolerance=1e-9, rel_tol=1e-4, max_iterations=300),
-        pressure_controls: SolverControls = SolverControls(
-            tolerance=1e-9, rel_tol=1e-4, max_iterations=500),
-        n_correctors: int = 2,
-        solve_momentum: bool = True,
-        transport: str = "coupled",
-        fast_assembly: bool = True,
+        scalar_controls: SolverControls = _UNSET,
+        pressure_controls: SolverControls = _UNSET,
+        n_correctors: int = _UNSET,
+        solve_momentum: bool = _UNSET,
+        transport: str = _UNSET,
+        fast_assembly: bool = _UNSET,
+        settings: SolverSettings | None = None,
+        workspace: EquationWorkspace | None = None,
     ):
-        if transport not in ("coupled", "per-species"):
-            raise ValueError(f"unknown transport mode {transport!r}")
-        self.transport = transport
-        self.fast_assembly = bool(fast_assembly)
+        # Every spelling funnels into one validated settings object
+        # (defaults < settings < explicit kwarg; mixing the two
+        # spellings warns -- see resolve_settings).
+        settings = resolve_settings(
+            settings, where="DeepFlameSolver",
+            scalar_controls=scalar_controls,
+            pressure_controls=pressure_controls,
+            n_correctors=n_correctors, solve_momentum=solve_momentum,
+            transport=transport, fast_assembly=fast_assembly)
+        self.settings = settings
+        self.transport = settings.transport
+        self.fast_assembly = bool(settings.fast_assembly)
         self.case = case
         self.mesh = case.mesh
         self.mech = case.mech
@@ -180,16 +190,29 @@ class DeepFlameSolver:
         if isinstance(chemistry, ChemistryBackend):
             chemistry = BackendChemistry(chemistry)
         self.chemistry = chemistry
-        self.scalar_controls = scalar_controls
-        self.pressure_controls = pressure_controls
-        self.n_correctors = n_correctors
-        self.solve_momentum = solve_momentum
+        self.scalar_controls = settings.scalar_controls
+        self.pressure_controls = settings.pressure_controls
+        self.n_correctors = settings.n_correctors
+        self.solve_momentum = settings.solve_momentum
         # Zero-reassembly hot path: one workspace owns the persistent
         # LDU/source buffers, the CSR pattern, cached preconditioners
         # and the Krylov vector pool.  fast_assembly=False keeps the
         # allocating operator-chain path as a validation reference.
-        self._ws = EquationWorkspace(self.mesh) if self.fast_assembly \
-            else None
+        # An ensemble may inject a shared workspace: instances step
+        # strictly sequentially, and every workspace buffer is zeroed,
+        # refilled or value-refreshed per use, so sharing is
+        # bitwise-neutral (asserted by the orchestration tests).
+        if workspace is not None:
+            if not self.fast_assembly:
+                raise ValueError(
+                    "workspace sharing requires fast_assembly=True")
+            if workspace.mesh is not self.mesh:
+                raise ValueError(
+                    "shared workspace was built for a different mesh")
+            self._ws = workspace
+        else:
+            self._ws = EquationWorkspace(self.mesh) if self.fast_assembly \
+                else None
 
         mesh = self.mesh
         self.u = case.velocity
@@ -208,6 +231,33 @@ class DeepFlameSolver:
         self.last_timings = StepTimings()
         self.last_diag: StepDiagnostics | None = None
         self._psi = None
+
+    # -- construction from settings ---------------------------------------
+    @classmethod
+    def from_settings(
+        cls,
+        case: Case,
+        settings: SolverSettings,
+        properties=None,
+        chemistry=None,
+        workspace: EquationWorkspace | None = None,
+    ) -> "DeepFlameSolver":
+        """Build a serial solver from one :class:`SolverSettings`.
+
+        Unlike the legacy constructor, the chemistry backend is built
+        from ``settings.chemistry`` (an explicit ``chemistry`` object
+        still wins).  Produces steps bitwise identical to an
+        equivalently-kwarg'd legacy construction.
+        """
+        if settings.is_decomposed:
+            raise ValueError(
+                f"settings.ranks = {settings.ranks}: use "
+                f"DecomposedSolver.from_settings (or "
+                f"repro.core.settings.build_solver) for decomposed runs")
+        if chemistry is None:
+            chemistry = build_chemistry(settings, case.mech)
+        return cls(case, properties=properties, chemistry=chemistry,
+                   settings=settings, workspace=workspace)
 
     # -- helpers --------------------------------------------------------
     def _face_mass_flux(self) -> SurfaceField:

@@ -1,0 +1,337 @@
+"""Unified solver configuration: the :class:`SolverSettings` object.
+
+Historically the knobs describing one solver run were scattered across
+~10 constructor kwargs on :class:`~repro.core.DeepFlameSolver` and
+:class:`~repro.dist.DecomposedSolver` (chemistry backend, transport
+mode, fast assembly, corrector counts, two
+:class:`~repro.solvers.controls.SolverControls`, rank counts, balance
+mode, ...).  :class:`SolverSettings` gathers the full surface into one
+typed, validated, serializable value object so that
+
+* a solver is constructible from one argument
+  (``DeepFlameSolver.from_settings`` /
+  ``DecomposedSolver.from_settings`` / :func:`build_solver`),
+* configurations compose: :meth:`SolverSettings.overlay` produces a
+  derived settings object, which is what parameter sweeps, UQ
+  ensembles and per-instance overrides in
+  :mod:`repro.orchestrate` are built from (cf. muscle3's settings
+  manager), and
+* configurations round-trip through plain dicts
+  (:meth:`SolverSettings.to_dict` / :meth:`SolverSettings.from_dict`)
+  for files, CLIs and wire formats.
+
+Resolution precedence everywhere is
+``defaults < base settings < per-instance overlay < explicit kwarg``;
+mixing a ``settings=`` object with explicit legacy kwargs still works
+(the kwarg wins) but raises a :class:`DeprecationWarning` naming the
+conflicting spellings.
+"""
+
+from __future__ import annotations
+
+import copy
+import warnings
+from dataclasses import dataclass, field, fields, replace
+
+from ..solvers.controls import SolverControls
+
+__all__ = [
+    "SolverSettings",
+    "TRANSPORT_MODES",
+    "CHEMISTRY_MODES",
+    "BALANCE_MODES",
+    "PARTITION_METHODS",
+    "resolve_settings",
+    "build_chemistry",
+    "build_solver",
+]
+
+#: accepted ``SolverSettings.transport`` values
+TRANSPORT_MODES = ("coupled", "per-species")
+#: accepted ``SolverSettings.chemistry`` values
+CHEMISTRY_MODES = ("none", "percell", "direct", "surrogate", "hybrid")
+#: accepted ``SolverSettings.balance_chemistry`` values (canonical home;
+#: ``repro.dist.balance`` re-exports this tuple)
+BALANCE_MODES = ("none", "static", "dynamic")
+#: accepted ``SolverSettings.partition_method`` values
+PARTITION_METHODS = ("multilevel", "spectral", "greedy", "blocks")
+
+#: sentinel distinguishing "caller did not pass this kwarg" from any
+#: real value (including None) in the legacy constructor signatures
+_UNSET = object()
+
+
+def _default_scalar_controls() -> SolverControls:
+    return SolverControls(tolerance=1e-9, rel_tol=1e-4, max_iterations=300)
+
+
+def _default_pressure_controls() -> SolverControls:
+    return SolverControls(tolerance=1e-9, rel_tol=1e-4, max_iterations=500)
+
+
+@dataclass(frozen=True)
+class SolverSettings:
+    """Everything that configures one solver instance.
+
+    A frozen value object: derive variants with :meth:`overlay`
+    (never mutate).  The two :class:`SolverControls` fields use
+    per-instance ``default_factory`` construction -- unlike the old
+    constructor signatures, no two settings objects ever share a
+    class-level mutable default.
+
+    Parameters
+    ----------
+    chemistry:
+        Chemistry backend choice (one of :data:`CHEMISTRY_MODES`).
+        ``"surrogate"``/``"hybrid"`` need a trained net supplied via
+        ``chemistry_options["odenet"]`` (see :func:`build_chemistry`).
+    chemistry_options:
+        Extra keyword arguments for the backend constructor
+        (e.g. ``rtol``, ``atol``, ``t_window``).
+    transport:
+        ``"coupled"`` (blocked multi-RHS solves) or ``"per-species"``.
+    fast_assembly:
+        Use the zero-reassembly workspace hot path.
+    n_correctors:
+        PISO pressure corrector count.
+    solve_momentum:
+        Solve the momentum + pressure system each step.
+    scalar_controls, pressure_controls:
+        Krylov convergence criteria for the scalar/blocked and
+        pressure solves.
+    ranks:
+        ``0``/``1`` -> serial :class:`~repro.core.DeepFlameSolver`;
+        ``>= 2`` -> domain-decomposed
+        :class:`~repro.dist.DecomposedSolver` over that many ranks.
+    partition_method, partition_seed:
+        Graph-partitioner selection for the decomposed path.
+    balance_chemistry:
+        Chemistry load balancing mode (decomposed path only).
+    balance_options:
+        Forwarded to the :class:`~repro.dist.ChemistryLoadBalancer`.
+    """
+
+    chemistry: str = "none"
+    chemistry_options: dict = field(default_factory=dict)
+    transport: str = "coupled"
+    fast_assembly: bool = True
+    n_correctors: int = 2
+    solve_momentum: bool = True
+    scalar_controls: SolverControls = field(
+        default_factory=_default_scalar_controls)
+    pressure_controls: SolverControls = field(
+        default_factory=_default_pressure_controls)
+    ranks: int = 0
+    partition_method: str = "multilevel"
+    partition_seed: int = 0
+    balance_chemistry: str = "none"
+    balance_options: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        # Accept plain dicts for the controls (the from_dict/CLI path).
+        for name in ("scalar_controls", "pressure_controls"):
+            val = getattr(self, name)
+            if isinstance(val, dict):
+                object.__setattr__(self, name, SolverControls(**val))
+        self.validate()
+
+    # -- validation ----------------------------------------------------
+    def validate(self) -> "SolverSettings":
+        """Raise ``ValueError``/``TypeError`` on any invalid field."""
+        _check_choice("chemistry", self.chemistry, CHEMISTRY_MODES)
+        _check_choice("transport", self.transport, TRANSPORT_MODES)
+        _check_choice("balance_chemistry", self.balance_chemistry,
+                      BALANCE_MODES)
+        _check_choice("partition_method", self.partition_method,
+                      PARTITION_METHODS)
+        for name in ("scalar_controls", "pressure_controls"):
+            if not isinstance(getattr(self, name), SolverControls):
+                raise TypeError(f"{name} must be a SolverControls "
+                                f"(got {getattr(self, name)!r})")
+        for name in ("chemistry_options", "balance_options"):
+            if not isinstance(getattr(self, name), dict):
+                raise TypeError(f"{name} must be a dict")
+        if not isinstance(self.ranks, int) or self.ranks < 0:
+            raise ValueError(f"ranks must be a non-negative int "
+                             f"(got {self.ranks!r})")
+        if self.n_correctors < 1:
+            raise ValueError("n_correctors must be >= 1")
+        if self.balance_chemistry != "none" and self.ranks < 2:
+            raise ValueError(
+                "balance_chemistry requires a decomposed run (ranks >= 2)")
+        return self
+
+    @property
+    def is_decomposed(self) -> bool:
+        """True when these settings describe a multi-rank run."""
+        return self.ranks >= 2
+
+    # -- derivation ----------------------------------------------------
+    def overlay(self, **overrides) -> "SolverSettings":
+        """A new settings object with ``overrides`` applied.
+
+        Keys are field names; dotted paths reach into the nested
+        controls (``overlay(**{"scalar_controls.tolerance": 1e-12})``).
+        Unknown keys raise ``KeyError`` -- silently ignored overrides
+        are how ensemble sweeps go wrong.
+        """
+        if not overrides:
+            return self
+        flat: dict = {}
+        nested: dict[str, dict] = {}
+        names = {f.name for f in fields(self)}
+        for key, value in overrides.items():
+            head, _, rest = key.partition(".")
+            if head not in names:
+                raise KeyError(
+                    f"unknown SolverSettings field {head!r} "
+                    f"(from override {key!r})")
+            if rest:
+                nested.setdefault(head, {})[rest] = value
+            else:
+                flat[key] = value
+        for head, sub in nested.items():
+            if head in flat:
+                raise KeyError(
+                    f"override {head!r} given both whole and dotted")
+            target = getattr(self, head)
+            if isinstance(target, SolverControls):
+                control_names = {f.name for f in fields(target)}
+                for sub_key in sub:
+                    if sub_key not in control_names:
+                        raise KeyError(
+                            f"unknown {head} field {sub_key!r} "
+                            f"(from override {head}.{sub_key!r})")
+                flat[head] = replace(target, **sub)
+            elif isinstance(target, dict):
+                merged = dict(target)
+                merged.update(sub)
+                flat[head] = merged
+            else:
+                raise KeyError(f"field {head!r} does not support dotted "
+                               f"overrides")
+        return replace(self, **flat)
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        """A plain-dict form that :meth:`from_dict` round-trips.
+
+        Controls become nested dicts; option dicts are deep-copied.
+        Non-serializable chemistry options (a trained ``odenet``
+        object, say) are carried through by reference.
+        """
+        out: dict = {}
+        for f in fields(self):
+            val = getattr(self, f.name)
+            if isinstance(val, SolverControls):
+                val = {"tolerance": val.tolerance, "rel_tol": val.rel_tol,
+                       "max_iterations": val.max_iterations}
+            elif isinstance(val, dict):
+                val = copy.copy(val)
+            out[f.name] = val
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SolverSettings":
+        """Build (and validate) settings from :meth:`to_dict` output."""
+        names = {f.name for f in fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise KeyError(
+                f"unknown SolverSettings fields {sorted(unknown)!r}")
+        return cls(**data)
+
+
+def _check_choice(name: str, value, choices: tuple) -> None:
+    if value not in choices:
+        raise ValueError(f"unknown {name} {value!r}; use one of {choices}")
+
+
+# ----------------------------------------------------------------------
+def resolve_settings(settings: SolverSettings | None,
+                     where: str = "solver", **explicit) -> SolverSettings:
+    """Merge a constructor's explicit kwargs onto a settings object.
+
+    ``explicit`` holds the constructor's keyword arguments *including*
+    the :data:`_UNSET` sentinels; only the ones a caller actually
+    passed participate.  Precedence: defaults < ``settings`` <
+    explicit kwarg.  Passing both a settings object and legacy kwargs
+    works (the kwarg wins) but is deprecated -- the caller should fold
+    the kwarg into ``settings.overlay(...)`` instead.
+    """
+    passed = {k: v for k, v in explicit.items() if v is not _UNSET}
+    if settings is None:
+        return SolverSettings().overlay(**passed)
+    if passed:
+        warnings.warn(
+            f"{where}: legacy keyword(s) {sorted(passed)} override the "
+            f"settings object; fold them into "
+            f"SolverSettings.overlay(...) instead",
+            DeprecationWarning, stacklevel=3)
+        return settings.overlay(**passed)
+    return settings
+
+
+def build_chemistry(settings: SolverSettings, mech):
+    """The chemistry adapter a :class:`SolverSettings` describes.
+
+    ``"none"``/``"percell"``/``"direct"`` need only the mechanism;
+    ``"surrogate"``/``"hybrid"`` additionally require a trained
+    :class:`~repro.dnn.ODENet` under ``chemistry_options["odenet"]``
+    (nets are trained artifacts, not configuration -- see
+    ``examples/train_surrogates.py``).
+    """
+    from .chemistry_source import (
+        BatchedChemistry,
+        DirectChemistry,
+        HybridChemistry,
+        NoChemistry,
+        ODENetChemistry,
+    )
+
+    opts = dict(settings.chemistry_options)
+    kind = settings.chemistry
+    if kind == "none":
+        return NoChemistry()
+    if kind == "percell":
+        return DirectChemistry(mech, **opts)
+    if kind == "direct":
+        return BatchedChemistry(mech, **opts)
+    odenet = opts.pop("odenet", None)
+    if odenet is None:
+        raise ValueError(
+            f"chemistry={kind!r} needs a trained net in "
+            f"chemistry_options['odenet']")
+    if kind == "surrogate":
+        return ODENetChemistry(odenet, **opts)
+    return HybridChemistry(mech, odenet, **opts)
+
+
+def build_solver(case, settings: SolverSettings, properties=None,
+                 chemistry=None, comm=None, workspace=None):
+    """Construct the solver a :class:`SolverSettings` describes.
+
+    Dispatches on ``settings.ranks``: serial
+    :class:`~repro.core.DeepFlameSolver` below 2, decomposed
+    :class:`~repro.dist.DecomposedSolver` otherwise.  ``chemistry``
+    overrides the settings' backend spec when given; ``workspace``
+    (serial only) lets ensemble instances share one
+    :class:`~repro.fv.workspace.EquationWorkspace`; ``comm``
+    (decomposed only) supplies the rank fabric.
+    """
+    if settings.is_decomposed:
+        from ..dist.solver import DecomposedSolver
+
+        if workspace is not None:
+            raise ValueError(
+                "workspace sharing applies to serial solvers only")
+        return DecomposedSolver.from_settings(
+            case, settings, comm=comm, properties=properties,
+            chemistry=chemistry)
+    from .deepflame import DeepFlameSolver
+
+    if comm is not None:
+        raise ValueError("comm applies to decomposed solvers only")
+    return DeepFlameSolver.from_settings(
+        case, settings, properties=properties, chemistry=chemistry,
+        workspace=workspace)

@@ -55,8 +55,10 @@ from .decompose import Decomposition
 
 __all__ = ["BalanceReport", "ChemistryLoadBalancer", "BALANCE_MODES"]
 
-#: accepted values of ``DecomposedSolver(balance_chemistry=...)``
-BALANCE_MODES = ("none", "static", "dynamic")
+#: accepted values of ``DecomposedSolver(balance_chemistry=...)`` --
+#: canonically defined next to the other mode tuples on
+#: :class:`~repro.core.settings.SolverSettings`, re-exported here.
+from ..core.settings import BALANCE_MODES  # noqa: E402
 
 
 @dataclass

@@ -35,11 +35,13 @@ import numpy as np
 from ..core.cases import Case
 from ..core.chemistry_source import BackendChemistry
 from ..core.deepflame import DeepFlameSolver, StepDiagnostics, StepTimings
+from ..core.settings import _UNSET, SolverSettings, build_chemistry, \
+    resolve_settings
 from ..fv.fields import VolField
 from ..fv.operators import fvc_grad
 from ..runtime.comm import SimulatedComm
 from ..solvers.controls import SolverControls
-from .balance import BALANCE_MODES, BalanceReport, ChemistryLoadBalancer
+from .balance import BalanceReport, ChemistryLoadBalancer
 from .decompose import Decomposition
 from .halo import HaloExchanger
 from .krylov import DistributedSystem, solve_distributed
@@ -70,48 +72,66 @@ class DecomposedSolver:
     def __init__(
         self,
         case: Case,
-        nparts: int,
-        method: str = "multilevel",
-        seed: int = 0,
+        nparts: int = _UNSET,
+        method: str = _UNSET,
+        seed: int = _UNSET,
         comm: SimulatedComm | None = None,
         properties=None,
         chemistry=None,
-        scalar_controls: SolverControls = SolverControls(
-            tolerance=1e-9, rel_tol=1e-4, max_iterations=300),
-        pressure_controls: SolverControls = SolverControls(
-            tolerance=1e-9, rel_tol=1e-4, max_iterations=500),
-        n_correctors: int = 2,
-        solve_momentum: bool = True,
-        balance_chemistry: str = "none",
-        balance_kwargs: dict | None = None,
-        fast_assembly: bool = True,
+        scalar_controls: SolverControls = _UNSET,
+        pressure_controls: SolverControls = _UNSET,
+        n_correctors: int = _UNSET,
+        solve_momentum: bool = _UNSET,
+        balance_chemistry: str = _UNSET,
+        balance_kwargs: dict | None = _UNSET,
+        fast_assembly: bool = _UNSET,
+        settings: SolverSettings | None = None,
     ):
-        if balance_chemistry not in BALANCE_MODES:
+        # Legacy spellings (nparts/method/seed/balance_kwargs) map onto
+        # the canonical settings fields; everything funnels through one
+        # validated object (defaults < settings < explicit kwarg).
+        if balance_kwargs is None:  # legacy "no extra kwargs" spelling
+            balance_kwargs = {}
+        settings = resolve_settings(
+            settings, where="DecomposedSolver",
+            ranks=nparts, partition_method=method, partition_seed=seed,
+            scalar_controls=scalar_controls,
+            pressure_controls=pressure_controls,
+            n_correctors=n_correctors, solve_momentum=solve_momentum,
+            balance_chemistry=balance_chemistry,
+            balance_options=balance_kwargs, fast_assembly=fast_assembly)
+        if settings.ranks < 1:
             raise ValueError(
-                f"unknown balance_chemistry {balance_chemistry!r}; "
-                f"use one of {BALANCE_MODES}")
+                "DecomposedSolver needs a rank count: pass nparts or "
+                "settings with ranks >= 1")
+        self.settings = settings
         self.case = case
         self.mech = case.mech
-        self.decomp = Decomposition.from_mesh(case.mesh, nparts,
-                                              method=method, seed=seed)
-        self.comm = comm or SimulatedComm(nparts)
+        self.decomp = Decomposition.from_mesh(
+            case.mesh, settings.ranks, method=settings.partition_method,
+            seed=settings.partition_seed)
+        self.comm = comm or SimulatedComm(settings.ranks)
         self.exchanger = HaloExchanger(self.decomp, self.comm)
-        self.scalar_controls = scalar_controls
-        self.pressure_controls = pressure_controls
-        self.n_correctors = n_correctors
-        self.solve_momentum = solve_momentum
+        self.scalar_controls = settings.scalar_controls
+        self.pressure_controls = settings.pressure_controls
+        self.n_correctors = settings.n_correctors
+        self.solve_momentum = settings.solve_momentum
 
         if properties is None:
             from ..core.properties import DirectRealFluidProperties
 
             properties = DirectRealFluidProperties(case.mech)
+        self.properties = properties
+        # Rank solvers always run the blocked coupled-transport path
+        # (the distributed Krylov layer solves the stacked block
+        # system); per-rank balance/decomposition fields are stripped.
+        rank_settings = settings.overlay(
+            transport="coupled", ranks=0, balance_chemistry="none",
+            balance_options={})
         self.ranks = [
             DeepFlameSolver(
                 _localize_case(case, sub), properties=properties,
-                chemistry=chemistry, scalar_controls=scalar_controls,
-                pressure_controls=pressure_controls,
-                n_correctors=n_correctors, solve_momentum=solve_momentum,
-                transport="coupled", fast_assembly=fast_assembly)
+                chemistry=chemistry, settings=rank_settings)
             for sub in self.decomp.subdomains
         ]
         # The rank constructors evaluated properties/enthalpy over
@@ -127,15 +147,15 @@ class DecomposedSolver:
             r.phi = r._face_mass_flux()
 
         self.balancer: ChemistryLoadBalancer | None = None
-        if balance_chemistry != "none":
+        if settings.balance_chemistry != "none":
             if not all(isinstance(r.chemistry, BackendChemistry)
                        for r in self.ranks):
                 raise ValueError(
                     "balance_chemistry requires a batched chemistry "
                     "backend (got a non-backend chemistry adapter)")
             self.balancer = ChemistryLoadBalancer(
-                self.decomp, self.comm, mode=balance_chemistry,
-                **(balance_kwargs or {}))
+                self.decomp, self.comm, mode=settings.balance_chemistry,
+                **settings.balance_options)
 
         self.current_time = 0.0
         self.step_count = 0
@@ -143,6 +163,35 @@ class DecomposedSolver:
         self.last_diag: StepDiagnostics | None = None
         self.last_comm: dict | None = None
         self.last_balance: BalanceReport | None = None
+
+    # -- construction from settings ---------------------------------------
+    @classmethod
+    def from_settings(
+        cls,
+        case: Case,
+        settings: SolverSettings,
+        comm: SimulatedComm | None = None,
+        properties=None,
+        chemistry=None,
+    ) -> "DecomposedSolver":
+        """Build a decomposed solver from one :class:`SolverSettings`.
+
+        The chemistry backend comes from ``settings.chemistry`` (an
+        explicit ``chemistry`` object still wins); the *raw* backend is
+        shared across ranks and each rank solver wraps it in its own
+        stats adapter, exactly as the legacy constructor does.
+        """
+        if not settings.is_decomposed:
+            raise ValueError(
+                f"settings.ranks = {settings.ranks}: a decomposed run "
+                f"needs ranks >= 2 (use DeepFlameSolver.from_settings "
+                f"for serial runs)")
+        if chemistry is None and settings.chemistry != "none":
+            adapter = build_chemistry(settings, case.mech)
+            chemistry = adapter.backend \
+                if isinstance(adapter, BackendChemistry) else adapter
+        return cls(case, comm=comm, properties=properties,
+                   chemistry=chemistry, settings=settings)
 
     # -- helpers --------------------------------------------------------
     def _pairs(self):
@@ -176,8 +225,7 @@ class DecomposedSolver:
     def step(self, dt: float) -> StepDiagnostics:
         """Advance all ranks by one dt (collectively)."""
         led = self.comm.ledger
-        led0 = (led.messages, led.bytes_sent, led.allreduces,
-                led.allreduce_bytes)
+        led0 = led.totals()
         tm = StepTimings()
         flops = iters = 0
         dec = self.decomp
@@ -240,12 +288,7 @@ class DecomposedSolver:
         self.last_diag = diag
         for r in self.ranks:
             r.last_diag = diag
-        self.last_comm = {
-            "messages": led.messages - led0[0],
-            "bytes": led.bytes_sent - led0[1],
-            "allreduces": led.allreduces - led0[2],
-            "allreduce_bytes": led.allreduce_bytes - led0[3],
-        }
+        self.last_comm = led.delta(led0)
         return diag
 
     def _momentum_pressure(self, dt, rho_olds, tm) -> tuple[int, int]:

@@ -1,0 +1,33 @@
+"""Ensemble orchestration: N solver instances in one process.
+
+The layer above :mod:`repro.dist`: where the decomposed driver splits
+*one* simulation across ranks, an :class:`Ensemble` runs *many*
+configured simulations -- parameter sweeps, UQ ensembles, macro/micro
+coupled models exchanging state through ports -- in lockstep inside a
+single process, muscle3-style.  Per-instance configuration resolves
+through :class:`SettingsManager` overlays on one base
+:class:`~repro.core.settings.SolverSettings`; same-case instances
+share mesh, mechanism, property evaluator and equation workspace
+(:class:`SharedResources`); all coupling traffic flows through a
+ledgered fabric and lands, with step timings and chemistry work, in
+the :class:`EnsembleCostReport`.
+"""
+
+from .cache import CaseCache, SharedResources, clone_case, nbytes_deep
+from .ensemble import Conduit, Ensemble
+from .instance import SolverInstance
+from .report import EnsembleCostReport, InstanceCost
+from .settings_manager import SettingsManager
+
+__all__ = [
+    "CaseCache",
+    "Conduit",
+    "Ensemble",
+    "EnsembleCostReport",
+    "InstanceCost",
+    "SettingsManager",
+    "SharedResources",
+    "SolverInstance",
+    "clone_case",
+    "nbytes_deep",
+]

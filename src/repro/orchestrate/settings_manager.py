@@ -1,0 +1,78 @@
+"""Per-instance settings resolution for ensemble runs.
+
+An ensemble is configured by one base
+:class:`~repro.core.settings.SolverSettings` plus *overlays* addressed
+by instance, the way muscle3's settings manager scopes settings to
+compute elements: the overlay registered for ``"micro"`` applies to
+every instance of that name, the one for ``"micro[3]"`` to a single
+index.  Resolution layers, least to most specific::
+
+    package defaults < base settings < "name" overlay
+                     < "name[i]" overlay < per-instance overrides
+
+Every layer is applied through
+:meth:`~repro.core.settings.SolverSettings.overlay`, so overlay dicts
+may address nested solver controls with dotted paths
+(``{"scalar_controls.tolerance": 1e-10}``) and every resolved object
+re-validates itself.
+"""
+
+from __future__ import annotations
+
+from ..core.settings import SolverSettings
+
+__all__ = ["SettingsManager"]
+
+
+class SettingsManager:
+    """Resolves one :class:`SolverSettings` per ensemble instance.
+
+    Parameters
+    ----------
+    base:
+        The ensemble-wide base settings (package defaults when
+        ``None``).
+    overlays:
+        Mapping of instance address -- ``"name"`` or ``"name[i]"`` --
+        to a dict of settings-field overrides.  Field names may be
+        dotted paths into the nested solver controls.
+    """
+
+    def __init__(self, base: SolverSettings | None = None,
+                 overlays: dict[str, dict] | None = None):
+        self.base = base if base is not None else SolverSettings()
+        self.overlays: dict[str, dict] = {
+            str(k): dict(v) for k, v in (overlays or {}).items()}
+
+    def set_overlay(self, target: str, overrides: dict) -> None:
+        """Add (or extend) the overlay addressed to ``target``.
+
+        ``target`` is ``"name"`` (all indices) or ``"name[i]"`` (one
+        index); repeated calls for the same target merge, newest value
+        per field winning.
+        """
+        self.overlays.setdefault(str(target), {}).update(overrides)
+
+    def overrides_for(self, name: str, index: int | None = None) -> dict:
+        """The merged overlay dict addressed to ``(name, index)``.
+
+        The name-wide overlay applies first, the indexed overlay on
+        top of it (most specific wins per field).
+        """
+        merged = dict(self.overlays.get(str(name), {}))
+        if index is not None:
+            merged.update(self.overlays.get(f"{name}[{index}]", {}))
+        return merged
+
+    def resolve(self, name: str, index: int | None = None,
+                overrides: dict | None = None) -> SolverSettings:
+        """The final validated settings for one instance.
+
+        ``overrides`` (the per-instance layer, e.g. the swept field of
+        a parameter study) beats both overlay scopes.  Returns the
+        shared ``base`` object itself when nothing overrides it --
+        settings are immutable, so identity sharing is safe.
+        """
+        merged = self.overrides_for(name, index)
+        merged.update(overrides or {})
+        return self.base.overlay(**merged) if merged else self.base

@@ -12,6 +12,7 @@ from .load_balance import (
     chemistry_balance_report,
     per_rank_imbalance,
     price_balance_report,
+    price_comm_totals,
     rank_imbalance,
     work_imbalance,
     workload_with_chemistry,
@@ -49,6 +50,7 @@ __all__ = [
     "halo_exchange_time",
     "per_rank_imbalance",
     "price_balance_report",
+    "price_comm_totals",
     "rank_imbalance",
     "strong_scaling",
     "tgv_workload",

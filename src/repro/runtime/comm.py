@@ -12,7 +12,7 @@ Two roles:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -23,16 +23,47 @@ __all__ = ["CommLedger", "SimulatedComm", "halo_exchange_time", "allreduce_time"
 
 @dataclass
 class CommLedger:
-    """Accumulated communication totals."""
+    """Accumulated communication totals, with per-source attribution.
+
+    ``by_src`` maps a sending rank to its ``[messages, bytes]`` share
+    of the point-to-point traffic -- the ensemble cost report uses it
+    to attribute one fabric's traffic to individual instances.
+    """
 
     messages: int = 0
     bytes_sent: int = 0
     allreduces: int = 0
     allreduce_bytes: int = 0
+    by_src: dict[int, list[int]] = field(default_factory=dict)
 
     def reset(self) -> None:
         self.messages = self.bytes_sent = 0
         self.allreduces = self.allreduce_bytes = 0
+        self.by_src.clear()
+
+    def charge_message(self, src: int, nbytes: int) -> None:
+        """Record one point-to-point message sent by ``src``."""
+        self.messages += 1
+        self.bytes_sent += int(nbytes)
+        per = self.by_src.setdefault(int(src), [0, 0])
+        per[0] += 1
+        per[1] += int(nbytes)
+
+    def src_totals(self, src: int) -> tuple[int, int]:
+        """``(messages, bytes)`` sent by rank ``src`` so far."""
+        per = self.by_src.get(int(src), (0, 0))
+        return per[0], per[1]
+
+    def totals(self) -> dict:
+        """Snapshot of the four counters (the per-step delta base)."""
+        return {"messages": self.messages, "bytes": self.bytes_sent,
+                "allreduces": self.allreduces,
+                "allreduce_bytes": self.allreduce_bytes}
+
+    def delta(self, before: dict) -> dict:
+        """Traffic accumulated since a :meth:`totals` snapshot."""
+        now = self.totals()
+        return {k: now[k] - before[k] for k in now}
 
 
 class SimulatedComm:
@@ -63,8 +94,7 @@ class SimulatedComm:
                 if not 0 <= dst < self.n_ranks:
                     raise ValueError(f"rank {src} sends to invalid rank {dst}")
                 inboxes[dst][src] = payload
-                self.ledger.messages += 1
-                self.ledger.bytes_sent += payload.nbytes
+                self.ledger.charge_message(src, payload.nbytes)
         return inboxes
 
     def allreduce(self, contributions: np.ndarray, op: str = "sum"):

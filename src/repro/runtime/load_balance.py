@@ -28,6 +28,7 @@ __all__ = [
     "chemistry_balance_report",
     "workload_with_chemistry",
     "price_balance_report",
+    "price_comm_totals",
 ]
 
 
@@ -73,28 +74,49 @@ def per_rank_imbalance(work_per_rank: np.ndarray) -> float:
     return float(per_rank.max() / per_rank.mean() - 1.0)
 
 
+def price_comm_totals(machine, totals: dict, n_ranks: int) -> dict:
+    """Alpha-beta price of a measured traffic total.
+
+    ``totals`` is a ``CommLedger.totals()``-shaped dict (``messages``,
+    ``bytes``, ``allreduces``, ``allreduce_bytes``) -- a per-step delta,
+    a balance report, or an ensemble fabric's lifetime total.  Returns
+    ``{"exchange_s", "allreduce_s", "total_s"}`` charged to
+    ``machine``'s fabric exactly as the executed strong-scaling bench
+    prices halo traffic.
+    """
+    from .comm import allreduce_time, halo_exchange_time
+
+    t_xc = 0.0
+    if totals.get("messages"):
+        t_xc = halo_exchange_time(
+            machine, totals["messages"] / n_ranks,
+            totals["bytes"] / totals["messages"])
+    t_ar = 0.0
+    if totals.get("allreduces"):
+        t_ar = totals["allreduces"] * allreduce_time(
+            machine, n_ranks,
+            totals["allreduce_bytes"] / totals["allreduces"])
+    return {"exchange_s": t_xc, "allreduce_s": t_ar,
+            "total_s": t_xc + t_ar}
+
+
 def price_balance_report(machine, report, n_ranks: int) -> dict:
     """Alpha-beta price of one balanced chemistry stage's traffic.
 
     Charges the *measured* migration messages/bytes and the work-total
     allreduce of a :class:`~repro.dist.BalanceReport` to ``machine``'s
-    fabric, exactly as the executed strong-scaling bench prices halo
-    traffic.  Returns ``{"migration_s", "allreduce_s", "total_s"}``.
+    fabric via :func:`price_comm_totals`.  Returns
+    ``{"migration_s", "allreduce_s", "total_s"}``.
     """
-    from .comm import allreduce_time, halo_exchange_time
-
-    t_mig = 0.0
-    if report.messages:
-        t_mig = halo_exchange_time(
-            machine, report.messages / n_ranks,
-            report.bytes_sent / report.messages)
-    t_ar = 0.0
-    if report.allreduces:
-        t_ar = report.allreduces * allreduce_time(
-            machine, n_ranks,
-            report.allreduce_bytes / report.allreduces)
-    return {"migration_s": t_mig, "allreduce_s": t_ar,
-            "total_s": t_mig + t_ar}
+    priced = price_comm_totals(
+        machine,
+        {"messages": report.messages, "bytes": report.bytes_sent,
+         "allreduces": report.allreduces,
+         "allreduce_bytes": report.allreduce_bytes},
+        n_ranks)
+    return {"migration_s": priced["exchange_s"],
+            "allreduce_s": priced["allreduce_s"],
+            "total_s": priced["total_s"]}
 
 
 def chemistry_balance_report(stats) -> dict:
