@@ -13,7 +13,14 @@ With ``--executed`` the analytic sweep is complemented by an
 domain-decomposed over P subdomains (``repro.dist``), and the table
 reports the *measured* per-step halo-exchange and allreduce ledger
 next to the alpha-beta times the cost model charges for exactly those
-volumes -- the communication pattern is exercised, not assumed."""
+volumes -- the communication pattern is exercised, not assumed.  The
+overlap-comparison bench additionally runs the same step with
+``krylov_variant="overlapped"`` / ``overlap_halo=True`` and prices the
+two ledgers side by side: the overlap-tagged traffic is charged
+``max(t_compute, t_comm)`` (:func:`repro.runtime.overlapped_phase_time`)
+instead of the serial sum, and the fused/pipelined solvers cut the
+per-step collective count, so the modeled strong-scaling efficiency at
+8+ ranks improves."""
 
 import numpy as np
 import pytest
@@ -24,6 +31,7 @@ from repro.runtime import (
     OptimizationConfig,
     allreduce_time,
     halo_exchange_time,
+    overlapped_phase_time,
     strong_scaling,
     tgv_workload,
 )
@@ -118,3 +126,109 @@ def test_fig13_executed_ledger(executed, smoke, mech):
     halo_bytes = [per_p[p]["bytes"] for p in rank_counts]
     assert np.all(np.diff(halo_bytes) > 0)
     emit("Fig. 13 (executed): measured communication ledger", lines)
+
+
+def _price_step(comm: dict, flops: int, nparts: int,
+                overlapped: bool) -> float:
+    """Alpha-beta price of one measured step on Sunway's fabric.
+
+    The overlap-tagged subset of the ledger (nonblocking halo posts,
+    fused ``iallreduce``) hides behind the step's compute via
+    :func:`overlapped_phase_time`; everything else is charged as the
+    serial sum, exactly as the synchronous model does.
+    """
+    rate = SUNWAY.peak_fp64_node / SUNWAY.processes_per_node
+    t_comp = flops / nparts / rate
+
+    def halo_price(msgs: int, nbytes: int) -> float:
+        if msgs == 0:
+            return 0.0
+        return halo_exchange_time(SUNWAY, msgs / nparts, nbytes / msgs)
+
+    def allred_price(count: int) -> float:
+        if count == 0:
+            return 0.0
+        payload = comm["allreduce_bytes"] / comm["allreduces"]
+        return count * allreduce_time(SUNWAY, nparts, payload)
+
+    t_halo_ovl = halo_price(comm["overlap_messages"], comm["overlap_bytes"])
+    t_halo_blk = halo_price(comm["messages"] - comm["overlap_messages"],
+                            comm["bytes"] - comm["overlap_bytes"])
+    t_ar_ovl = allred_price(comm["overlap_allreduces"])
+    t_ar_blk = allred_price(comm["allreduces"] - comm["overlap_allreduces"])
+    if overlapped:
+        return t_halo_blk + t_ar_blk + \
+            overlapped_phase_time(t_comp, t_halo_ovl + t_ar_ovl)
+    return t_comp + t_halo_blk + t_halo_ovl + t_ar_blk + t_ar_ovl
+
+
+def test_fig13_overlap_comparison(executed, smoke, mech):
+    """Synchronous vs communication-overlapped distributed Krylov:
+    measured ledgers of both execution modes, priced side by side."""
+    if not executed:
+        pytest.skip("pass --executed to run the decomposed-execution bench")
+    from repro.core import (
+        IdealGasProperties,
+        NoChemistry,
+        SolverSettings,
+        build_tgv_case,
+    )
+    from repro.dist import DecomposedSolver
+
+    n = 8 if smoke else 12
+    rank_counts = [2, 4, 8] if smoke else [2, 4, 8, 16]
+    dt = 1e-8
+    lines = [f"TGV {n}^3 cells, 1 measured step per rank count "
+             "(alpha-beta times on Sunway's fabric)",
+             "   P  variant       allred  allred/it  overlap-msgs  "
+             "t_model [us]  efficiency"]
+    eff = {"synchronous": [], "overlapped": []}
+    per_it = {}
+    for nparts in rank_counts:
+        for variant in ("synchronous", "overlapped"):
+            settings = SolverSettings(
+                ranks=nparts, krylov_variant=variant,
+                overlap_halo=(variant == "overlapped"))
+            solver = DecomposedSolver(
+                build_tgv_case(n=n, mech=mech),
+                properties=IdealGasProperties(mech),
+                chemistry=NoChemistry(), settings=settings)
+            solver.step(dt)   # warm-up: settle fields
+            solver.step(dt)   # measured step
+            comm = solver.last_comm
+            iters = max(solver.last_diag.solver_iterations, 1)
+            t_model = _price_step(comm, solver.last_diag.solver_flops,
+                                  nparts, overlapped=(variant == "overlapped"))
+            series = eff[variant]
+            series.append((nparts, t_model))
+            p0, t0 = series[0]
+            e = (t0 * p0) / (t_model * nparts)
+            per_it[(nparts, variant)] = comm["allreduces"] / iters
+            lines.append(
+                f"  {nparts:2d}  {variant:12s}  {comm['allreduces']:5d}  "
+                f"{comm['allreduces'] / iters:9.2f}  "
+                f"{comm['overlap_messages']:12d}  {t_model*1e6:12.2f}  "
+                f"{e*100:9.1f} %")
+
+            if variant == "overlapped":
+                # the nonblocking spellings actually ran, and the
+                # fused/pipelined solvers cut the collective count
+                assert comm["overlap_messages"] > 0
+                assert comm["overlap_allreduces"] > 0
+                assert per_it[(nparts, "overlapped")] \
+                    < per_it[(nparts, "synchronous")]
+            else:
+                assert comm["overlap_messages"] == 0
+                assert comm["overlap_allreduces"] == 0
+
+    # at scale (8+ ranks), overlap + fewer collectives must translate
+    # into better modeled strong-scaling efficiency
+    for i, nparts in enumerate(rank_counts):
+        if nparts < 8:
+            continue
+        p0, t0 = eff["synchronous"][0]
+        e_sync = (t0 * p0) / (eff["synchronous"][i][1] * nparts)
+        p0, t0 = eff["overlapped"][0]
+        e_ovl = (t0 * p0) / (eff["overlapped"][i][1] * nparts)
+        assert e_ovl > e_sync, (nparts, e_sync, e_ovl)
+    emit("Fig. 13 (executed): synchronous vs overlapped Krylov", lines)

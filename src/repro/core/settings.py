@@ -41,6 +41,7 @@ __all__ = [
     "CHEMISTRY_MODES",
     "BALANCE_MODES",
     "PARTITION_METHODS",
+    "KRYLOV_VARIANTS",
     "resolve_settings",
     "build_chemistry",
     "build_solver",
@@ -55,6 +56,9 @@ CHEMISTRY_MODES = ("none", "percell", "direct", "surrogate", "hybrid")
 BALANCE_MODES = ("none", "static", "dynamic")
 #: accepted ``SolverSettings.partition_method`` values
 PARTITION_METHODS = ("multilevel", "spectral", "greedy", "blocks")
+#: accepted ``SolverSettings.krylov_variant`` values (canonical home;
+#: ``repro.dist.krylov`` re-exports this tuple)
+KRYLOV_VARIANTS = ("synchronous", "overlapped")
 
 #: sentinel distinguishing "caller did not pass this kwarg" from any
 #: real value (including None) in the legacy constructor signatures
@@ -109,6 +113,16 @@ class SolverSettings:
         Chemistry load balancing mode (decomposed path only).
     balance_options:
         Forwarded to the :class:`~repro.dist.ChemistryLoadBalancer`.
+    krylov_variant:
+        Distributed Krylov dispatch (decomposed path only):
+        ``"synchronous"`` runs the blocked solvers with one allreduce
+        per reduction; ``"overlapped"`` the communication-avoiding
+        variants (pipelined PCG for pressure, fused-reduction
+        PBiCGStab for the scalar blocks).
+    overlap_halo:
+        Post the ghost refresh of every distributed matvec nonblocking
+        and compute the interior rows while it is in flight
+        (decomposed path only).
     """
 
     chemistry: str = "none"
@@ -126,6 +140,8 @@ class SolverSettings:
     partition_seed: int = 0
     balance_chemistry: str = "none"
     balance_options: dict = field(default_factory=dict)
+    krylov_variant: str = "synchronous"
+    overlap_halo: bool = False
 
     def __post_init__(self):
         # Accept plain dicts for the controls (the from_dict/CLI path).
@@ -144,6 +160,11 @@ class SolverSettings:
                       BALANCE_MODES)
         _check_choice("partition_method", self.partition_method,
                       PARTITION_METHODS)
+        _check_choice("krylov_variant", self.krylov_variant,
+                      KRYLOV_VARIANTS)
+        if not isinstance(self.overlap_halo, bool):
+            raise TypeError(f"overlap_halo must be a bool "
+                            f"(got {self.overlap_halo!r})")
         for name in ("scalar_controls", "pressure_controls"):
             if not isinstance(getattr(self, name), SolverControls):
                 raise TypeError(f"{name} must be a SolverControls "

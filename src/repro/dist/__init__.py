@@ -15,10 +15,15 @@ Layers:
 * :mod:`.decompose` -- :class:`Decomposition` / :class:`Subdomain`:
   per-rank local meshes with halo cells and symmetric exchange maps;
 * :mod:`.halo` -- :class:`HaloExchanger`: packed ghost-layer refreshes
-  through a :class:`~repro.runtime.comm.SimulatedComm`;
+  through a :class:`~repro.runtime.comm.SimulatedComm`, blocking
+  (``refresh``) or posted nonblocking (``post`` ->
+  :class:`PendingRefresh`);
 * :mod:`.krylov` -- :class:`DistributedSystem`: the global operator
   (per-rank LDU blocks + halo-exchanging matvec + allreduce
-  reductions) fed to the *unmodified* blocked Krylov solvers;
+  reductions) fed to the *unmodified* blocked Krylov solvers; the
+  ``"overlapped"`` variant overlaps the ghost refresh with the
+  interior matvec rows and runs the communication-avoiding solvers
+  (pipelined PCG, fused-reduction PBiCGStab);
 * :mod:`.balance` -- :class:`ChemistryLoadBalancer`: migrates stiff
   chemistry cells between ranks through packed, ledgered messages so
   executed rank-level chemistry work stays balanced;
@@ -30,8 +35,8 @@ Layers:
 
 from .balance import BALANCE_MODES, BalanceReport, ChemistryLoadBalancer
 from .decompose import Decomposition, Subdomain
-from .halo import HaloExchanger
-from .krylov import DistributedSystem, solve_distributed
+from .halo import HaloExchanger, PendingRefresh
+from .krylov import KRYLOV_VARIANTS, DistributedSystem, solve_distributed
 from .solver import DecomposedSolver
 
 __all__ = [
@@ -42,6 +47,8 @@ __all__ = [
     "Decomposition",
     "DistributedSystem",
     "HaloExchanger",
+    "KRYLOV_VARIANTS",
+    "PendingRefresh",
     "Subdomain",
     "solve_distributed",
 ]

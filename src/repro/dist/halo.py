@@ -6,6 +6,16 @@ call are packed into a single message per neighbour pair (the standard
 MPI aggregation that keeps the per-step message count at
 ``O(neighbours)`` instead of ``O(neighbours x fields)``), and each
 message is accounted in the communicator's ledger.
+
+Two spellings:
+
+* :meth:`HaloExchanger.refresh` -- blocking (pack, exchange, unpack);
+* :meth:`HaloExchanger.post` -- nonblocking: packs and posts the
+  exchange (tagged overlappable in the ledger), returning a
+  :class:`PendingRefresh` whose ``wait()`` unpacks into the ghost
+  rows.  Callers compute their halo-independent work between the two
+  -- the overlapped matvec of :class:`~repro.dist.krylov.DistributedSystem`
+  applies the interior rows there.
 """
 
 from __future__ import annotations
@@ -15,7 +25,22 @@ import numpy as np
 from ..runtime.comm import SimulatedComm
 from .decompose import Decomposition
 
-__all__ = ["HaloExchanger"]
+__all__ = ["HaloExchanger", "PendingRefresh"]
+
+
+class PendingRefresh:
+    """Wait handle of a posted ghost refresh: unpacks on ``wait()``."""
+
+    def __init__(self, exchanger: "HaloExchanger", fields, widths, pending):
+        self._exchanger = exchanger
+        self._fields = fields
+        self._widths = widths
+        self._pending = pending
+
+    def wait(self) -> None:
+        """Complete the exchange: fill every rank's ghost rows."""
+        inboxes = self._pending.wait()
+        self._exchanger._unpack(self._fields, self._widths, inboxes)
 
 
 class HaloExchanger:
@@ -29,20 +54,13 @@ class HaloExchanger:
         self.decomp = decomp
         self.comm = comm
 
-    def refresh(self, per_rank) -> None:
-        """Refresh the ghost layer of one or more cell fields.
-
-        ``per_rank[r]`` is either a single local array (shape
-        ``(n_local, ...)``) or a list of local arrays for rank ``r``;
-        each rank must pass the same number of fields.  Arrays are
-        updated in place; one packed message flows per neighbour pair.
-        """
+    def _pack(self, per_rank):
+        """Normalize the field lists and build per-rank outboxes."""
         fields = [[a] if isinstance(a, np.ndarray) else list(a)
                   for a in per_rank]
         subs = self.decomp.subdomains
         if len(fields) != len(subs):
             raise ValueError("need one entry per rank")
-
         widths = [int(np.prod(a.shape[1:], dtype=int)) for a in fields[0]]
         outboxes = []
         for r, sub in enumerate(subs):
@@ -52,8 +70,11 @@ class HaloExchanger:
                     [a[sidx].reshape(sidx.size, -1) for a in fields[r]],
                     axis=1)
             outboxes.append(box)
-        inboxes = self.comm.halo_exchange(outboxes)
-        for r, sub in enumerate(subs):
+        return fields, widths, outboxes
+
+    def _unpack(self, fields, widths, inboxes) -> None:
+        """Scatter received payloads into every rank's ghost rows."""
+        for r, sub in enumerate(self.decomp.subdomains):
             for q, payload in inboxes[r].items():
                 ridx = sub.recv[q]
                 col = 0
@@ -61,3 +82,27 @@ class HaloExchanger:
                     chunk = payload[:, col:col + w]
                     a[ridx] = chunk.reshape((ridx.size,) + a.shape[1:])
                     col += w
+
+    def refresh(self, per_rank) -> None:
+        """Refresh the ghost layer of one or more cell fields.
+
+        ``per_rank[r]`` is either a single local array (shape
+        ``(n_local, ...)``) or a list of local arrays for rank ``r``;
+        each rank must pass the same number of fields.  Arrays are
+        updated in place; one packed message flows per neighbour pair.
+        """
+        fields, widths, outboxes = self._pack(per_rank)
+        self._unpack(fields, widths, self.comm.halo_exchange(outboxes))
+
+    def post(self, per_rank) -> PendingRefresh:
+        """Post a nonblocking ghost refresh; returns a wait handle.
+
+        Same packing, volumes and in-place semantics as
+        :meth:`refresh`, but the messages are posted through
+        :meth:`~repro.runtime.comm.SimulatedComm.post_halo` (ledger-
+        tagged overlappable) and the ghost rows are only filled at
+        :meth:`PendingRefresh.wait`.
+        """
+        fields, widths, outboxes = self._pack(per_rank)
+        return PendingRefresh(self, fields, widths,
+                              self.comm.post_halo(outboxes))

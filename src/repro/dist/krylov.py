@@ -12,7 +12,22 @@ their extension points change meaning:
 * ``coldot`` / ``colsum_abs`` -- per-rank partial reductions combined
   through ``SimulatedComm.allreduce`` (one collective per reduction,
   exactly the pattern whose ``log2(P) + beta*P`` cost drives the
-  paper's strong-scaling decay).
+  paper's strong-scaling decay);
+* ``fused_reduce`` / ``ifused_reduce`` -- the grouped spellings for
+  the communication-avoiding solver variants: the whole group's
+  per-rank partials are packed into **one** ``(P, n_items, k)``
+  allreduce (posted nonblocking for the pipelined PCG, so the
+  collective is in flight while the preconditioner and matvec run).
+
+Every matvec splits each rank's owned rows into an **interior** part
+(faces with both cells owned -- no halo dependency) and a **boundary
+tail** (cut-face contributions that read ghost values).  With
+``overlap_halo=True`` the ghost refresh is *posted*, the interior part
+is computed while the messages are in flight, and only the tail waits
+-- the cost model then prices the phase ``max(t_interior, t_exchange)
++ t_tail`` (:func:`~repro.runtime.comm.overlapped_phase_time`).  The
+synchronous path runs the identical split after a blocking refresh, so
+both orderings produce bitwise-equal products.
 
 Preconditioning is communication-free, as on a real machine: Jacobi
 uses the owned diagonal (identical to the serial operator's), and the
@@ -26,14 +41,46 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.settings import KRYLOV_VARIANTS
+from ..runtime import alloc
 from ..runtime.comm import SimulatedComm
-from ..solvers.blocked import pbicgstab_solve_multi, pcg_solve_multi
+from ..solvers.blocked import (
+    fused_pbicgstab_solve_multi,
+    pbicgstab_solve_multi,
+    pcg_solve_multi,
+    pipelined_pcg_solve_multi,
+)
 from ..solvers.controls import SolverControls, SolverResult
 from ..solvers.preconditioners import DICPreconditioner
+from ..solvers.workspace import KrylovWorkspace
 from .decompose import Decomposition
 from .halo import HaloExchanger
 
-__all__ = ["DistributedSystem", "solve_distributed"]
+__all__ = ["KRYLOV_VARIANTS", "DistributedSystem", "solve_distributed"]
+
+#: rotation depth of the matvec output pool -- results stay valid
+#: across this many subsequent matvecs (the blocked solvers hold a
+#: product across at most one further matvec; see ``_out``)
+_OUT_SLOTS = 3
+
+
+class _PendingFusedReduce:
+    """Wait handle of a posted fused reduction group.
+
+    Unpacks the reduced ``(n_items, k)`` payload back into the
+    ``(dot_results, sum_results)`` lists the blocked solvers consume.
+    """
+
+    def __init__(self, pending, n_dots: int):
+        self._pending = pending
+        self._n_dots = n_dots
+
+    def wait(self):
+        """Complete the collective; returns ``(dots, sums)`` lists."""
+        reduced = self._pending.wait()
+        nd = self._n_dots
+        return ([reduced[i] for i in range(nd)],
+                [reduced[i] for i in range(nd, reduced.shape[0])])
 
 
 class DistributedSystem:
@@ -44,47 +91,203 @@ class DistributedSystem:
     every reduction through an allreduce.  ``nnz`` reports the serial
     operator's count so flop accounting stays comparable across
     execution modes (cut faces would otherwise be counted twice).
+
+    Parameters
+    ----------
+    scratch:
+        Optional dict holding the persistent work buffers and the
+        cached interior/boundary row split.  A driver that builds a
+        fresh system per solve (:class:`~repro.dist.DecomposedSolver`)
+        passes the *same* dict every time, so warm solves perform zero
+        buffer allocations; by default each system owns a private one.
+    overlap_halo:
+        Post the ghost refresh nonblocking and compute the interior
+        rows while it is in flight (the messages are then tagged
+        overlappable in the communication ledger).
     """
 
     def __init__(self, decomp: Decomposition, comm: SimulatedComm,
-                 mats: list, exchanger: HaloExchanger | None = None):
+                 mats: list, exchanger: HaloExchanger | None = None,
+                 scratch: dict | None = None, overlap_halo: bool = False):
         if len(mats) != decomp.nparts:
             raise ValueError("need one local matrix per rank")
         self.decomp = decomp
         self.comm = comm
         self.mats = mats
         self.exchanger = exchanger or HaloExchanger(decomp, comm)
+        self.overlap_halo = bool(overlap_halo)
         self.n = decomp.mesh.n_cells
         self.nnz = decomp.mesh.n_cells + 2 * decomp.mesh.n_internal_faces
+        self._scratch = scratch if scratch is not None else {}
+        self._out_rot = 0
+
+    # -- persistent buffers and the cached row split -------------------
+    def _buf(self, key: tuple, shape: tuple) -> np.ndarray:
+        """A view of the persistent scratch buffer for ``key``.
+
+        The backing buffer is sized to the largest shape requested so
+        far (column blocks *shrink* as converged columns retire, so in
+        practice the first solve of each kind allocates the final
+        size) and alloc-counted only when (re)grown.
+        """
+        buf = self._scratch.get(key)
+        if buf is None or any(b < s for b, s in zip(buf.shape, shape)):
+            alloc.count()
+            grown = shape if buf is None else tuple(
+                max(b, s) for b, s in zip(buf.shape, shape))
+            buf = self._scratch[key] = np.empty(grown)
+        return buf[tuple(slice(0, s) for s in shape)]
+
+    def _split(self, r: int) -> dict:
+        """Rank ``r``'s interior/boundary row split (cached: the
+        sparsity is the decomposition's, shared by every operator
+        assembled on it).
+
+        Interior faces couple two owned cells; each cut face
+        contributes ``coeff * x[ghost]`` to exactly one owned row --
+        ``upper`` into the owner's row when the owner is the owned
+        side, ``lower`` into the neighbour's row otherwise.
+        """
+        key = ("split", r)
+        cached = self._scratch.get(key)
+        if cached is None:
+            sub = self.decomp.subdomains[r]
+            m = self.mats[r]
+            own, nb = m.owner, m.neighbour
+            no = sub.n_owned
+            interior = np.nonzero((own < no) & (nb < no))[0]
+            cut_own = np.nonzero((own < no) & (nb >= no))[0]
+            cut_nb = np.nonzero((nb < no) & (own >= no))[0]
+            cached = self._scratch[key] = {
+                "own_i": own[interior], "nb_i": nb[interior],
+                "interior": interior,
+                "cut_own": cut_own, "rows_own": own[cut_own],
+                "cols_own": nb[cut_own],
+                "cut_nb": cut_nb, "rows_nb": nb[cut_nb],
+                "cols_nb": own[cut_nb],
+            }
+        return cached
 
     # -- hooks for the blocked solvers ---------------------------------
+    def _apply_interior(self, r: int, loc: np.ndarray,
+                        out: np.ndarray) -> None:
+        """Owned rows of rank ``r``'s product from owned data only."""
+        sub = self.decomp.subdomains[r]
+        m = self.mats[r]
+        sp = self._split(r)
+        no = sub.n_owned
+        np.multiply(m.diag[:no, None], loc[:no], out=out)
+        up = m.upper[sp["interior"], None] * loc[sp["nb_i"]]
+        lo = m.lower[sp["interior"], None] * loc[sp["own_i"]]
+        for j in range(loc.shape[1]):
+            out[:, j] += np.bincount(sp["own_i"], weights=up[:, j],
+                                     minlength=no)
+            out[:, j] += np.bincount(sp["nb_i"], weights=lo[:, j],
+                                     minlength=no)
+
+    def _apply_boundary(self, r: int, loc: np.ndarray,
+                        out: np.ndarray) -> None:
+        """Add rank ``r``'s cut-face (ghost-reading) contributions."""
+        sub = self.decomp.subdomains[r]
+        m = self.mats[r]
+        sp = self._split(r)
+        no = sub.n_owned
+        for coeff, rows, cols in (
+            (m.upper[sp["cut_own"]], sp["rows_own"], sp["cols_own"]),
+            (m.lower[sp["cut_nb"]], sp["rows_nb"], sp["cols_nb"]),
+        ):
+            if rows.size == 0:
+                continue
+            w = coeff[:, None] * loc[cols]
+            for j in range(loc.shape[1]):
+                out[:, j] += np.bincount(rows, weights=w[:, j],
+                                         minlength=no)
+
     def matvec_multi(self, x: np.ndarray) -> np.ndarray:
-        """Y = A X on the stacked layout, with one ghost refresh."""
-        subs = self.decomp.subdomains
-        locs = []
-        for r, sub in enumerate(subs):
-            loc = np.empty((sub.n_local,) + x.shape[1:])
-            loc[:sub.n_owned] = x[self.decomp.rank_slice(r)]
-            locs.append(loc)
-        self.exchanger.refresh(locs)
-        return np.concatenate(
-            [self.mats[r].matvec_multi(locs[r])[:subs[r].n_owned]
-             for r in range(len(subs))], axis=0)
+        """Y = A X on the stacked layout, with one ghost refresh.
+
+        The returned block is a slot of a small rotating buffer pool:
+        valid until ``_OUT_SLOTS - 1`` further matvecs, then reused.
+        With ``overlap_halo``, the refresh is posted, the interior rows
+        (no ghost dependency) are computed while it is in flight, and
+        only the cut-face tail runs after ``wait()``.
+        """
+        dec = self.decomp
+        subs = dec.subdomains
+        k = x.shape[1]
+        locs = [self._buf(("loc", r), (s.n_local, k))
+                for r, s in enumerate(subs)]
+        for r, s in enumerate(subs):
+            locs[r][:s.n_owned] = x[dec.rank_slice(r)]
+        # size the whole pool, not just this call's slot: later matvecs
+        # of a solve see *compressed* blocks (converged columns retire),
+        # so a slot first hit late in an iteration would otherwise grow
+        # again when a wider solve lands on it steps later
+        for slot in range(_OUT_SLOTS):
+            self._buf(("out", slot), (self.n, k))
+        out = self._buf(("out", self._out_rot), (self.n, k))
+        self._out_rot = (self._out_rot + 1) % _OUT_SLOTS
+        outs = [out[dec.rank_slice(r)] for r in range(dec.nparts)]
+        if self.overlap_halo:
+            handle = self.exchanger.post(locs)
+            for r in range(dec.nparts):           # interior, overlapped
+                self._apply_interior(r, locs[r], outs[r])
+            handle.wait()
+            for r in range(dec.nparts):           # ghost-reading tail
+                self._apply_boundary(r, locs[r], outs[r])
+        else:
+            self.exchanger.refresh(locs)
+            for r in range(dec.nparts):
+                self._apply_interior(r, locs[r], outs[r])
+                self._apply_boundary(r, locs[r], outs[r])
+        return out
 
     def coldot(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Per-column dot products via per-rank partials + allreduce."""
-        parts = np.stack([
-            np.einsum("ij,ij->j", a[self.decomp.rank_slice(r)],
-                      b[self.decomp.rank_slice(r)])
-            for r in range(self.decomp.nparts)])
+        parts = self._buf(("red",), (self.decomp.nparts, a.shape[1]))
+        for r in range(self.decomp.nparts):
+            sl = self.decomp.rank_slice(r)
+            np.einsum("ij,ij->j", a[sl], b[sl], out=parts[r])
         return np.atleast_1d(self.comm.allreduce(parts, op="sum"))
 
     def colsum_abs(self, r: np.ndarray) -> np.ndarray:
         """Per-column L1 norms via per-rank partials + allreduce."""
-        parts = np.stack([
-            np.abs(r[self.decomp.rank_slice(q)]).sum(axis=0)
-            for q in range(self.decomp.nparts)])
+        parts = self._buf(("red",), (self.decomp.nparts, r.shape[1]))
+        for q in range(self.decomp.nparts):
+            np.abs(r[self.decomp.rank_slice(q)]).sum(axis=0, out=parts[q])
         return np.atleast_1d(self.comm.allreduce(parts, op="sum"))
+
+    def _pack_group(self, dots, sums) -> np.ndarray:
+        """Per-rank partials of a whole reduction group, packed into
+        one ``(P, n_dots + n_sums, k)`` payload."""
+        k = (dots[0][0] if dots else sums[0]).shape[1]
+        nd = len(dots)
+        parts = self._buf(("fused",),
+                          (self.decomp.nparts, nd + len(sums), k))
+        for r in range(self.decomp.nparts):
+            sl = self.decomp.rank_slice(r)
+            for i, (a, b) in enumerate(dots):
+                np.einsum("ij,ij->j", a[sl], b[sl], out=parts[r, i])
+            for i, s in enumerate(sums):
+                np.abs(s[sl]).sum(axis=0, out=parts[r, nd + i])
+        return parts
+
+    def fused_reduce(self, dots, sums):
+        """Grouped-reduction hook: one allreduce for the whole group
+        (the fused PBiCGStab's 2 collectives per iteration)."""
+        reduced = self.comm.allreduce(self._pack_group(dots, sums), op="sum")
+        nd = len(dots)
+        return ([reduced[i] for i in range(nd)],
+                [reduced[i] for i in range(nd, reduced.shape[0])])
+
+    def ifused_reduce(self, dots, sums) -> _PendingFusedReduce:
+        """Nonblocking grouped reduction: posts one ``iallreduce`` for
+        the group (tagged overlappable) and returns a wait handle --
+        the pipelined PCG computes its preconditioner and matvec
+        between post and wait."""
+        pending = self.comm.iallreduce(self._pack_group(dots, sums),
+                                       op="sum")
+        return _PendingFusedReduce(pending, len(dots))
 
     # -- preconditioners ------------------------------------------------
     def jacobi(self):
@@ -122,22 +325,55 @@ def solve_distributed(
     b: np.ndarray,
     x0: np.ndarray | None = None,
     solver: str = "PBiCGStab",
-    controls: SolverControls = SolverControls(),
+    controls: SolverControls | None = None,
+    variant: str = "synchronous",
+    workspace: KrylovWorkspace | None = None,
 ) -> tuple[np.ndarray, list[SolverResult]]:
     """One distributed blocked Krylov solve on the stacked layout.
 
     ``b``/``x0`` are stacked ``(N, k)`` blocks (``k = 1`` for scalar
-    equations).  Dispatches to the blocked PBiCGStab (Jacobi) or PCG
-    (block-Jacobi DIC) with the system's communication hooks.
+    equations).  Dispatches on ``solver`` and ``variant``:
+
+    * ``"PBiCGStab"`` -- Jacobi-preconditioned; ``"synchronous"`` runs
+      the blocked solver with one allreduce per reduction (6 per
+      iteration), ``"overlapped"`` the fused-reduction variant (2
+      grouped collectives per iteration);
+    * ``"PCG"`` -- block-Jacobi-DIC-preconditioned; ``"synchronous"``
+      costs 3 allreduces per iteration, ``"overlapped"`` the pipelined
+      (Ghysels--Vanroose) variant with a single fused ``iallreduce``
+      per iteration, posted before the preconditioner and matvec it
+      hides behind.
+
+    Both variants of a method converge to the same solution within the
+    requested tolerance (the agreement tests pin them at <= 1e-8).
+    ``workspace`` pools the solution block across solves (the per-step
+    driver passes a persistent one, so warm distributed solves perform
+    zero tracked allocations).
     """
+    controls = controls if controls is not None else SolverControls()
+    if variant not in KRYLOV_VARIANTS:
+        raise ValueError(f"unknown krylov variant {variant!r}; "
+                         f"use one of {KRYLOV_VARIANTS}")
     if solver == "PBiCGStab":
+        if variant == "overlapped":
+            return fused_pbicgstab_solve_multi(
+                system, b, x0=x0, preconditioner=system.jacobi(),
+                controls=controls, matvec=system.matvec_multi,
+                fused_reduce=system.fused_reduce, workspace=workspace)
         return pbicgstab_solve_multi(
             system, b, x0=x0, preconditioner=system.jacobi(),
             controls=controls, matvec=system.matvec_multi,
-            coldot=system.coldot, colsum_abs=system.colsum_abs)
+            coldot=system.coldot, colsum_abs=system.colsum_abs,
+            workspace=workspace)
     if solver == "PCG":
+        if variant == "overlapped":
+            return pipelined_pcg_solve_multi(
+                system, b, x0=x0, preconditioner=system.block_dic(),
+                controls=controls, matvec=system.matvec_multi,
+                ifused_reduce=system.ifused_reduce, workspace=workspace)
         return pcg_solve_multi(
             system, b, x0=x0, preconditioner=system.block_dic(),
             controls=controls, matvec=system.matvec_multi,
-            coldot=system.coldot, colsum_abs=system.colsum_abs)
+            coldot=system.coldot, colsum_abs=system.colsum_abs,
+            workspace=workspace)
     raise ValueError(f"unknown distributed solver {solver!r}")

@@ -39,8 +39,10 @@ from ..core.settings import _UNSET, SolverSettings, build_chemistry, \
     resolve_settings
 from ..fv.fields import VolField
 from ..fv.operators import fvc_grad
+from ..runtime import alloc
 from ..runtime.comm import SimulatedComm
 from ..solvers.controls import SolverControls
+from ..solvers.workspace import KrylovWorkspace
 from .balance import BalanceReport, ChemistryLoadBalancer
 from .decompose import Decomposition
 from .halo import HaloExchanger
@@ -116,6 +118,15 @@ class DecomposedSolver:
         self.pressure_controls = settings.pressure_controls
         self.n_correctors = settings.n_correctors
         self.solve_momentum = settings.solve_momentum
+        self.krylov_variant = settings.krylov_variant
+        self.overlap_halo = settings.overlap_halo
+        # Persistent Krylov scratch (local blocks, matvec outputs,
+        # packed reduction partials, the cached interior/boundary row
+        # split) and solution-block pool: every per-solve
+        # DistributedSystem reuses them, so warm solves allocate
+        # nothing.
+        self._krylov_scratch: dict = {}
+        self._krylov_workspace = KrylovWorkspace()
 
         if properties is None:
             from ..core.properties import DirectRealFluidProperties
@@ -213,11 +224,17 @@ class DecomposedSolver:
             b = b[:, None]
             x0 = x0[:, None]
         system = DistributedSystem(dec, self.comm, [e.a for e in eqns],
-                                   exchanger=self.exchanger)
+                                   exchanger=self.exchanger,
+                                   scratch=self._krylov_scratch,
+                                   overlap_halo=self.overlap_halo)
+        a0 = alloc.snapshot()
         t0 = time.perf_counter()
         x, results = solve_distributed(system, b, x0=x0, solver=solver,
-                                       controls=controls)
+                                       controls=controls,
+                                       variant=self.krylov_variant,
+                                       workspace=self._krylov_workspace)
         tm.solving += time.perf_counter() - t0
+        tm.alloc_solving += alloc.snapshot() - a0
         return (x, sum(r.flops for r in results),
                 sum(r.iterations for r in results))
 

@@ -4,9 +4,12 @@ model and the strong/weak scaling drivers."""
 
 from .comm import (
     CommLedger,
+    PendingExchange,
+    PendingReduce,
     SimulatedComm,
     allreduce_time,
     halo_exchange_time,
+    overlapped_phase_time,
 )
 from .load_balance import (
     chemistry_balance_report,
@@ -38,6 +41,8 @@ __all__ = [
     "MACHINES",
     "MachineSpec",
     "OptimizationConfig",
+    "PendingExchange",
+    "PendingReduce",
     "PerfModel",
     "PerfReport",
     "SUNWAY",
@@ -48,6 +53,7 @@ __all__ = [
     "allreduce_time",
     "chemistry_balance_report",
     "halo_exchange_time",
+    "overlapped_phase_time",
     "per_rank_imbalance",
     "price_balance_report",
     "price_comm_totals",

@@ -2,7 +2,12 @@
 Jacobi / DIC / (block-)symmetric-GS preconditioning, plus blocked
 multi-RHS PCG/PBiCGStab for shared-operator transport solves."""
 
-from .blocked import pbicgstab_solve_multi, pcg_solve_multi
+from .blocked import (
+    fused_pbicgstab_solve_multi,
+    pbicgstab_solve_multi,
+    pcg_solve_multi,
+    pipelined_pcg_solve_multi,
+)
 from .controls import SolverControls, SolverResult
 from .gamg import GAMGSolver, agglomerate
 from .pbicgstab import pbicgstab_solve
@@ -22,6 +27,8 @@ __all__ = [
     "DICStructure",
     "GAMGSolver",
     "KrylovWorkspace",
+    "fused_pbicgstab_solve_multi",
+    "pipelined_pcg_solve_multi",
     "JacobiPreconditioner",
     "REDUCTIONS_PER_PCG_ITER",
     "SolverControls",

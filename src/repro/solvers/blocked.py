@@ -17,12 +17,25 @@ active block — their solution stops being touched, their
 :class:`SolverResult` is finalized with their own iteration count, and
 the remaining columns keep iterating on a compacted block.
 
-Both solvers accept reduction hooks (``coldot``, ``colsum_abs``) in
-addition to the ``matvec`` override: a distributed caller (the
-``repro.dist`` subsystem) passes hooks that compute per-rank partial
-reductions and combine them through ``SimulatedComm.allreduce``, so
-the *same* Krylov code drives the serial and the domain-decomposed
-solves and every global reduction hits the communication ledger.
+All solvers accept reduction hooks in addition to the ``matvec``
+override: a distributed caller (the ``repro.dist`` subsystem) passes
+hooks that compute per-rank partial reductions and combine them
+through ``SimulatedComm.allreduce``, so the *same* Krylov code drives
+the serial and the domain-decomposed solves and every global reduction
+hits the communication ledger.  The synchronous solvers take
+per-reduction hooks (``coldot``, ``colsum_abs`` -- one collective
+each); the communication-avoiding variants take *fused* hooks:
+
+* :func:`fused_pbicgstab_solve_multi` -- same update formulas as the
+  synchronous blocked PBiCGStab, but the 6 reductions per iteration
+  are grouped into 2 (one per half-iteration) via ``fused_reduce``,
+  with the residual-norm check deferred by half an iteration and
+  ``rho`` recovered locally from the fused ``(r_hat, s)`` /
+  ``(r_hat, t)`` dot products;
+* :func:`pipelined_pcg_solve_multi` -- Ghysels--Vanroose pipelined
+  CG: one fused reduction per iteration, *posted* through
+  ``ifused_reduce`` (returning a wait handle) so a distributed caller
+  overlaps it with the preconditioner and matvec that follow.
 """
 
 from __future__ import annotations
@@ -37,7 +50,12 @@ from .controls import SolverControls, SolverResult
 from .pcg import REDUCTIONS_PER_PCG_ITER
 from .workspace import KrylovWorkspace
 
-__all__ = ["pbicgstab_solve_multi", "pcg_solve_multi"]
+__all__ = [
+    "fused_pbicgstab_solve_multi",
+    "pbicgstab_solve_multi",
+    "pcg_solve_multi",
+    "pipelined_pcg_solve_multi",
+]
 
 
 def _block_x(name: str, workspace: KrylovWorkspace | None,
@@ -57,6 +75,34 @@ def _colsum_abs(r: np.ndarray) -> np.ndarray:
 
 def _coldot(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return np.einsum("ij,ij->j", a, b)
+
+
+def _fused_reduce(dots, sums):
+    """Serial fused reduction (the single-process reference hook).
+
+    ``dots`` is a list of ``(a, b)`` multi-vector pairs, ``sums`` a
+    list of multi-vectors; returns ``(dot_results, sum_results)`` --
+    per-column dot products and L1 norms.  A distributed caller
+    replaces this with one packed allreduce for the whole group.
+    """
+    return ([_coldot(a, b) for a, b in dots],
+            [_colsum_abs(s) for s in sums])
+
+
+class _ImmediateReduce:
+    """Wait handle of the serial ``ifused_reduce`` hook (already done)."""
+
+    def __init__(self, value):
+        self._value = value
+
+    def wait(self):
+        """Return the (already computed) fused-reduction results."""
+        return self._value
+
+
+def _ifused_reduce(dots, sums):
+    """Serial nonblocking fused reduction: compute now, wait later."""
+    return _ImmediateReduce(_fused_reduce(dots, sums))
 
 
 def _converged_mask(controls: SolverControls, res: np.ndarray,
@@ -82,7 +128,7 @@ def pbicgstab_solve_multi(
     b: np.ndarray,
     x0: np.ndarray | None = None,
     preconditioner: Callable[[np.ndarray], np.ndarray] | None = None,
-    controls: SolverControls = SolverControls(),
+    controls: SolverControls | None = None,
     matvec: Callable[[np.ndarray], np.ndarray] | None = None,
     coldot: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
     colsum_abs: Callable[[np.ndarray], np.ndarray] | None = None,
@@ -98,6 +144,7 @@ def pbicgstab_solve_multi(
     With ``workspace``, the ``(n, k)`` solution block is a pooled
     buffer that the next pooled solve will overwrite.
     """
+    controls = controls if controls is not None else SolverControls()
     b = _check_rhs(a, b)
     n, k = b.shape
     mv = matvec if matvec is not None else a.matvec_multi
@@ -141,6 +188,7 @@ def pbicgstab_solve_multi(
         return ~mask
 
     def compress(keep: np.ndarray) -> None:
+        """Drop retired columns from every recurrence vector."""
         nonlocal r, r_hat, rho_old, alpha, omega, v, p
         nonlocal res0_a, res_a, nf, fl, act
         r, r_hat, v, p = r[:, keep], r_hat[:, keep], v[:, keep], p[:, keep]
@@ -202,7 +250,7 @@ def pcg_solve_multi(
     b: np.ndarray,
     x0: np.ndarray | None = None,
     preconditioner: Callable[[np.ndarray], np.ndarray] | None = None,
-    controls: SolverControls = SolverControls(),
+    controls: SolverControls | None = None,
     matvec: Callable[[np.ndarray], np.ndarray] | None = None,
     coldot: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
     colsum_abs: Callable[[np.ndarray], np.ndarray] | None = None,
@@ -218,6 +266,7 @@ def pcg_solve_multi(
     With ``workspace``, the ``(n, k)`` solution block is a pooled
     buffer that the next pooled solve will overwrite.
     """
+    controls = controls if controls is not None else SolverControls()
     b = _check_rhs(a, b)
     n, k = b.shape
     mv = matvec if matvec is not None else a.matvec_multi
@@ -250,6 +299,7 @@ def pcg_solve_multi(
     rz = cdot(r, z)
 
     def retire(mask: np.ndarray, it: int, converged: bool) -> np.ndarray:
+        """Record results for finished columns; returns the keep mask."""
         for i in np.nonzero(mask)[0]:
             j = int(act[i])
             results[j] = SolverResult(
@@ -258,6 +308,7 @@ def pcg_solve_multi(
         return ~mask
 
     def compress(keep: np.ndarray) -> None:
+        """Drop retired columns from every recurrence vector."""
         nonlocal r, p, rz, res0_a, res_a, nf, fl, act
         r, p = r[:, keep], p[:, keep]
         rz = rz[keep]
@@ -287,5 +338,280 @@ def pcg_solve_multi(
         rz = rz_new
         fl += 4 * n
 
+    retire(np.ones(act.size, dtype=bool), it, converged=False)
+    return x, results  # type: ignore[return-value]
+
+
+def fused_pbicgstab_solve_multi(
+    a: LDUMatrix,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    preconditioner: Callable[[np.ndarray], np.ndarray] | None = None,
+    controls: SolverControls | None = None,
+    matvec: Callable[[np.ndarray], np.ndarray] | None = None,
+    fused_reduce: Callable | None = None,
+    workspace: KrylovWorkspace | None = None,
+) -> tuple[np.ndarray, list[SolverResult]]:
+    """Blocked BiCGStab with grouped reductions: 2 collectives per
+    iteration instead of the synchronous variant's 6.
+
+    Same Krylov recurrences as :func:`pbicgstab_solve_multi`; the
+    communication restructuring is
+
+    * **group 1** (after ``v = A M p``): ``(r_hat, v)`` fused with the
+      residual norm ``|r|`` whose convergence check the synchronous
+      variant performs at the *end* of the previous iteration (plus,
+      on the first iteration only, ``rho_0``, ``|b|`` and ``|r_0|``);
+    * **group 2** (after ``t = A M s``): ``(t, t)``, ``(t, s)`` and
+      ``|s|`` fused with ``(r_hat, s)`` and ``(r_hat, t)``, from which
+      the next iteration's ``rho = (r_hat, s) - omega (r_hat, t)`` is
+      recovered *locally* -- eliminating the separate ``rho``
+      reduction.
+
+    Deferring the ``|r|`` check trades at most one extra (discarded)
+    preconditioner + matvec per solve for the reduction count; the
+    iterates themselves are unchanged, so results agree with the
+    synchronous variant to solver tolerance.  ``fused_reduce`` is the
+    grouped-reduction hook (see :func:`_fused_reduce` for the serial
+    reference; a distributed caller packs each group into a single
+    allreduce).
+    """
+    controls = controls if controls is not None else SolverControls()
+    b = _check_rhs(a, b)
+    n, k = b.shape
+    mv = matvec if matvec is not None else a.matvec_multi
+    freduce = fused_reduce if fused_reduce is not None else _fused_reduce
+    precond = preconditioner if preconditioner is not None else (lambda r: r)
+    x = _block_x("bicgf.x", workspace, x0, n, k)
+
+    r = b - mv(x)
+    r_hat = r.copy()
+    p = r.copy()
+    v = np.zeros((n, k))
+    rho = np.ones(k)
+    fl = np.full(k, 2 * a.nnz + 2 * n, dtype=np.int64)
+    results: list[SolverResult | None] = [None] * k
+    act = np.arange(k)
+    # set on the first fused group (|b| and |r0| ride along with it)
+    nf = res0_a = res_a = None
+
+    def retire(mask: np.ndarray, it: int, converged: bool) -> np.ndarray:
+        """Finalize results for masked columns; return the keep mask."""
+        for i in np.nonzero(mask)[0]:
+            j = int(act[i])
+            results[j] = SolverResult(
+                "PBiCGStab", it, float(res0_a[i]), float(res_a[i]),
+                converged, int(fl[i]), {"reduction_groups": 2})
+        return ~mask
+
+    def compress(keep: np.ndarray) -> None:
+        """Drop retired columns from every recurrence vector."""
+        nonlocal r, r_hat, p, v, rho, res0_a, res_a, nf, fl, act
+        r, r_hat, p, v = r[:, keep], r_hat[:, keep], p[:, keep], v[:, keep]
+        rho = rho[keep]
+        res0_a, res_a, nf, fl = res0_a[keep], res_a[keep], nf[keep], fl[keep]
+        act = act[keep]
+
+    first = True
+    it = 0
+    for it in range(1, controls.max_iterations + 1):
+        if act.size == 0:
+            break
+        p_hat = precond(p)
+        v = mv(p_hat)
+        dots = [(r_hat, v)] + ([(r_hat, r)] if first else [])
+        sums = [r] + ([b] if first else [])
+        dres, sres = freduce(dots, sums)          # collective group 1
+        sigma = dres[0]
+        if first:
+            rho = dres[1]
+            nf = sres[1] + 1e-300
+            res_a = sres[0] / nf
+            res0_a = res_a.copy()
+            first = False
+        else:
+            res_a = sres[0] / nf
+        fl += 2 * a.nnz + 10 * n
+        # |r| check the synchronous variant ran at the end of the
+        # previous iteration; x is unchanged since, so retiring here
+        # yields the same solution with (it - 1) counted iterations.
+        conv = _converged_mask(controls, res_a, res0_a)
+        broke = (np.abs(rho) < 1e-300) & ~conv
+        if conv.any() or broke.any():
+            keep = retire(conv, it - 1, converged=True)
+            keep &= retire(broke, it - 1, converged=False)
+            compress(keep)
+            sigma, p_hat = sigma[keep], p_hat[:, keep]
+            if act.size == 0:
+                break
+        alpha = rho / np.where(np.abs(sigma) > 0, sigma, 1e-300)
+        s = r - alpha * v
+        s_hat = precond(s)
+        t = mv(s_hat)
+        dres, sres = freduce(
+            [(t, t), (t, s), (r_hat, s), (r_hat, t)], [s])  # group 2
+        tt, ts, rhs, rht = dres
+        res_a = sres[0] / nf
+        fl += 2 * a.nnz + 10 * n
+        conv = _converged_mask(controls, res_a, res0_a)
+        if conv.any():
+            x[:, act[conv]] += alpha[conv] * p_hat[:, conv]
+            keep = retire(conv, it, converged=True)
+            compress(keep)
+            s, s_hat, t, p_hat = (s[:, keep], s_hat[:, keep], t[:, keep],
+                                  p_hat[:, keep])
+            alpha, tt, ts, rhs, rht = (alpha[keep], tt[keep], ts[keep],
+                                       rhs[keep], rht[keep])
+            if act.size == 0:
+                break
+        pos = tt > 0
+        omega = np.where(pos, ts / np.where(pos, tt, 1.0), 0.0)
+        x[:, act] += alpha * p_hat + omega * s_hat
+        r = s - omega * t
+        # rho for the next iteration, recovered without a collective
+        rho_new = rhs - omega * rht
+        broke = np.abs(omega) < 1e-300
+        omega_safe = np.where(broke, 1.0, omega)
+        beta = (rho_new / np.where(np.abs(rho) > 0, rho, 1e-300)) \
+            * (alpha / omega_safe)
+        p = r + beta * (p - omega * v)
+        rho = rho_new
+        if broke.any():
+            keep = retire(broke, it, converged=False)
+            compress(keep)
+
+    if res0_a is None:  # max_iterations == 0: no group ever reduced
+        nf = np.ones(act.size)
+        res0_a = res_a = np.full(act.size, np.inf)
+    retire(np.ones(act.size, dtype=bool), it, converged=False)
+    return x, results  # type: ignore[return-value]
+
+
+def pipelined_pcg_solve_multi(
+    a: LDUMatrix,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    preconditioner: Callable[[np.ndarray], np.ndarray] | None = None,
+    controls: SolverControls | None = None,
+    matvec: Callable[[np.ndarray], np.ndarray] | None = None,
+    ifused_reduce: Callable | None = None,
+    workspace: KrylovWorkspace | None = None,
+) -> tuple[np.ndarray, list[SolverResult]]:
+    """Ghysels--Vanroose pipelined PCG: one fused collective per
+    iteration, overlapped with the preconditioner and matvec.
+
+    The classical PCG iteration needs 3 collectives (``(p, Ap)``,
+    ``|r|``, ``(r, z)``) at 2 synchronization points; the pipelined
+    recurrence fuses ``gamma = (r, u)``, ``delta = (w, u)`` and
+    ``|r|`` into a single reduction that is *posted* (via the
+    ``ifused_reduce`` hook, returning a wait handle) before the
+    applications ``m = M w`` and ``n = A m`` -- so on a real machine
+    the one remaining collective hides behind the dominant local work.
+    Auxiliary vectors ``z = A M w``-chains (``z, q, s, p``) keep the
+    search directions consistent without extra matvecs.
+
+    Per-column convergence masking, flop accounting and the
+    ``workspace`` pool behave as in :func:`pcg_solve_multi`; the
+    iterates differ from classical PCG only by floating-point
+    reassociation, so both converge to the same solution within the
+    requested tolerance.
+    """
+    controls = controls if controls is not None else SolverControls()
+    b = _check_rhs(a, b)
+    n, k = b.shape
+    mv = matvec if matvec is not None else a.matvec_multi
+    ifreduce = ifused_reduce if ifused_reduce is not None else _ifused_reduce
+    precond = preconditioner if preconditioner is not None else (lambda r: r)
+    x = _block_x("pcgp.x", workspace, x0, n, k)
+
+    r = b - mv(x)
+    u = precond(r)
+    # w is recurrence state updated in place every iteration, but mv
+    # may return a slot of a small rotating buffer pool (the
+    # distributed matvec does) -- detach it from the pool.
+    w = mv(u)
+    w = workspace.copy_of("pcgp.w", w) if workspace is not None \
+        else w.copy()
+    z = np.zeros((n, k))
+    q = np.zeros((n, k))
+    s = np.zeros((n, k))
+    p = np.zeros((n, k))
+    gamma_old = np.ones(k)
+    alpha_old = np.ones(k)
+    fl = np.full(k, 4 * a.nnz + 2 * n, dtype=np.int64)
+    results: list[SolverResult | None] = [None] * k
+    act = np.arange(k)
+    # set on the first fused reduction (|b| rides along with it)
+    nf = res0_a = res_a = None
+
+    def retire(mask: np.ndarray, it: int, converged: bool) -> np.ndarray:
+        """Finalize results for masked columns; return the keep mask."""
+        for i in np.nonzero(mask)[0]:
+            j = int(act[i])
+            results[j] = SolverResult(
+                "PCG", it, float(res0_a[i]), float(res_a[i]), converged,
+                int(fl[i]), {"reduction_groups": 1})
+        return ~mask
+
+    def compress(keep: np.ndarray) -> None:
+        """Drop retired columns from every recurrence vector."""
+        nonlocal r, u, w, z, q, s, p, gamma_old, alpha_old
+        nonlocal res0_a, res_a, nf, fl, act
+        r, u, w = r[:, keep], u[:, keep], w[:, keep]
+        z, q, s, p = z[:, keep], q[:, keep], s[:, keep], p[:, keep]
+        gamma_old, alpha_old = gamma_old[keep], alpha_old[keep]
+        res0_a, res_a, nf, fl = res0_a[keep], res_a[keep], nf[keep], fl[keep]
+        act = act[keep]
+
+    first = True
+    it = 0
+    for it in range(1, controls.max_iterations + 1):
+        if act.size == 0:
+            break
+        handle = ifreduce([(r, u), (w, u)],
+                          [r] + ([b] if first else []))  # posted ...
+        m_ = precond(w)                                  # ... overlapped
+        n_ = mv(m_)                                      # ... overlapped
+        dres, sres = handle.wait()
+        gamma, delta = dres
+        if first:
+            nf = sres[1] + 1e-300
+            res_a = sres[0] / nf
+            res0_a = res_a.copy()
+        else:
+            res_a = sres[0] / nf
+        # the |r| in this group is the residual *entering* the
+        # iteration (after it-1 updates): the same value the classical
+        # variant checks at the end of iteration it-1.
+        conv = _converged_mask(controls, res_a, res0_a)
+        if conv.any():
+            keep = retire(conv, it - 1, converged=True)
+            compress(keep)
+            m_, n_ = m_[:, keep], n_[:, keep]
+            gamma, delta = gamma[keep], delta[keep]
+            if act.size == 0:
+                break
+        if first:
+            beta = np.zeros(act.size)
+            alpha = gamma / np.where(np.abs(delta) > 0, delta, 1e-300)
+            first = False
+        else:
+            beta = gamma / np.where(np.abs(gamma_old) > 0, gamma_old, 1e-300)
+            denom = delta - beta * gamma / alpha_old
+            alpha = gamma / np.where(np.abs(denom) > 0, denom, 1e-300)
+        z = n_ + beta * z
+        q = m_ + beta * q
+        s = w + beta * s
+        p = u + beta * p
+        x[:, act] += alpha * p
+        r -= alpha * s
+        u -= alpha * q
+        w -= alpha * z
+        gamma_old, alpha_old = gamma, alpha
+        fl += 2 * a.nnz + 16 * n
+
+    if res0_a is None:  # max_iterations == 0: nothing ever reduced
+        nf = np.ones(act.size)
+        res0_a = res_a = np.full(act.size, np.inf)
     retire(np.ones(act.size, dtype=bool), it, converged=False)
     return x, results  # type: ignore[return-value]

@@ -21,6 +21,7 @@ class SolverControls:
     max_iterations: int = 1000
 
     def converged(self, res: float, res0: float) -> bool:
+        """Whether a residual meets the absolute or relative criterion."""
         if res <= self.tolerance:
             return True
         return self.rel_tol > 0.0 and res <= self.rel_tol * res0
@@ -39,6 +40,7 @@ class SolverResult:
     details: dict = field(default_factory=dict)
 
     def __repr__(self) -> str:  # pragma: no cover
+        """Compact one-line summary for logs and test failures."""
         return (
             f"SolverResult({self.solver}: it={self.iterations}, "
             f"res {self.initial_residual:.3e} -> {self.final_residual:.3e}, "

@@ -145,6 +145,7 @@ class GAMGSolver:
         x0: np.ndarray | None = None,
         controls: SolverControls = SolverControls(),
     ) -> tuple[np.ndarray, SolverResult]:
+        """V-cycle iterations until the controls' criterion is met."""
         a = self.levels[0]["a"]
         x = np.zeros(a.shape[0]) if x0 is None else np.asarray(x0, float).copy()
         b = np.asarray(b, dtype=float)

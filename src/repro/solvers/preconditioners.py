@@ -42,6 +42,7 @@ class JacobiPreconditioner:
         return self
 
     def apply(self, r: np.ndarray) -> np.ndarray:
+        """Scale the residual by the inverse diagonal."""
         return r * self.r_diag
 
     def apply_multi(self, r: np.ndarray) -> np.ndarray:
@@ -87,6 +88,7 @@ class DICPreconditioner:
         return w
 
     def apply(self, r: np.ndarray) -> np.ndarray:
+        """Apply the DIC factor to a 1-D residual."""
         return self._sweeps(r * self.r_d)
 
     def apply_multi(self, r: np.ndarray) -> np.ndarray:
@@ -162,6 +164,7 @@ class DICStructure:
 
     @classmethod
     def from_ldu(cls, ldu: LDUMatrix) -> "DICStructure":
+        """The structure of an LDU matrix's sparsity."""
         return cls(ldu.owner, ldu.neighbour, ldu.n)
 
 
@@ -227,9 +230,11 @@ class CachedDICPreconditioner:
         return w
 
     def apply(self, r: np.ndarray) -> np.ndarray:
+        """Apply the DIC factor to a 1-D residual."""
         return self._sweeps(r * self.r_d)
 
     def apply_multi(self, r: np.ndarray) -> np.ndarray:
+        """Apply to ``(n, k)``: one sweep pair covers all columns."""
         if r.ndim == 1:
             return self.apply(r)
         return self._sweeps(r * self.r_d[:, None])
@@ -266,6 +271,7 @@ class SymGaussSeidelPreconditioner:
             raise ValueError(f"unknown mode {mode!r}")
 
     def apply(self, r: np.ndarray) -> np.ndarray:
+        """One symmetric Gauss-Seidel sweep on the residual."""
         if self.mode == "serial":
             # (D+L) D^{-1} (D+U) w = r  (symmetric GS splitting)
             y = spsolve_triangular(self._dl, r, lower=True)

@@ -40,6 +40,7 @@ class KrylovWorkspace:
         return buf
 
     def zeros(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
+        """A pooled buffer cleared to zero."""
         buf = self.get(name, shape)
         buf[:] = 0.0
         return buf
@@ -54,4 +55,5 @@ class KrylovWorkspace:
 
     @property
     def n_buffers(self) -> int:
+        """Number of distinct pooled buffers held."""
         return len(self._bufs)

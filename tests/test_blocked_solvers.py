@@ -23,10 +23,12 @@ from repro.solvers import (
     JacobiPreconditioner,
     SolverControls,
     SymGaussSeidelPreconditioner,
+    fused_pbicgstab_solve_multi,
     pbicgstab_solve,
     pbicgstab_solve_multi,
     pcg_solve,
     pcg_solve_multi,
+    pipelined_pcg_solve_multi,
 )
 from repro.sparse import spmv_ldu_multi
 from tests.conftest import make_laplacian_ldu
@@ -184,6 +186,71 @@ class TestBlockedMatchesColumns:
     def test_1d_rhs_rejected(self, spd_ldu):
         with pytest.raises(ValueError):
             pcg_solve_multi(spd_ldu, np.ones(spd_ldu.n))
+
+
+class TestCommunicationAvoidingVariants:
+    """The fused/pipelined solvers are validated against the
+    synchronous blocked solvers they restructure."""
+
+    @given(seed=st.integers(0, 10_000), k=st.integers(1, 6),
+           zero_col=st.booleans())
+    @settings(**SETTINGS)
+    def test_pipelined_pcg_matches_sync(self, spd_ldu, seed, k, zero_col):
+        b = _rhs_block(spd_ldu.n, k, seed, zero_col)
+        pre = DICPreconditioner(spd_ldu)
+        x_ref, _ = pcg_solve_multi(spd_ldu, b,
+                                   preconditioner=pre.apply_multi,
+                                   controls=TIGHT)
+        x, results = pipelined_pcg_solve_multi(spd_ldu, b,
+                                               preconditioner=pre.apply_multi,
+                                               controls=TIGHT)
+        assert all(r.converged for r in results)
+        assert np.abs(x - x_ref).max() <= 1e-10
+        assert all(r.details["reduction_groups"] == 1 for r in results)
+        if zero_col:
+            assert results[0].iterations == 0
+
+    @given(seed=st.integers(0, 10_000), k=st.integers(1, 6),
+           zero_col=st.booleans())
+    @settings(**SETTINGS)
+    def test_fused_pbicgstab_matches_sync(self, box_mesh, seed, k, zero_col):
+        ldu = make_laplacian_ldu(box_mesh, shift=0.5)
+        ldu.lower *= 0.7
+        b = _rhs_block(ldu.n, k, seed, zero_col)
+        pre = JacobiPreconditioner(ldu)
+        x_ref, _ = pbicgstab_solve_multi(ldu, b,
+                                         preconditioner=pre.apply_multi,
+                                         controls=TIGHT)
+        x, results = fused_pbicgstab_solve_multi(
+            ldu, b, preconditioner=pre.apply_multi, controls=TIGHT)
+        assert all(r.converged for r in results)
+        assert np.abs(x - x_ref).max() <= 1e-10
+        assert all(r.details["reduction_groups"] == 2 for r in results)
+        if zero_col:
+            assert results[0].iterations == 0
+
+    def test_deferred_check_keeps_iteration_counts(self, spd_ldu):
+        """The fused/pipelined residual check is deferred by half an
+        iteration but retires with the synchronous iteration number."""
+        b = np.random.default_rng(11).standard_normal((spd_ldu.n, 3))
+        pre = DICPreconditioner(spd_ldu)
+        _, sync = pcg_solve_multi(spd_ldu, b,
+                                  preconditioner=pre.apply_multi,
+                                  controls=TIGHT)
+        _, pipe = pipelined_pcg_solve_multi(spd_ldu, b,
+                                            preconditioner=pre.apply_multi,
+                                            controls=TIGHT)
+        for s, p in zip(sync, pipe):
+            assert abs(s.iterations - p.iterations) <= 1
+
+    def test_zero_max_iterations(self, spd_ldu):
+        """max_iterations=0 exits before the first fused group posts."""
+        b = np.random.default_rng(12).standard_normal((spd_ldu.n, 2))
+        loose = SolverControls(tolerance=1e-13, max_iterations=0)
+        for solve in (pipelined_pcg_solve_multi, fused_pbicgstab_solve_multi):
+            x, results = solve(spd_ldu, b, controls=loose)
+            assert np.abs(x).max() == 0.0
+            assert all(not r.converged for r in results)
 
 
 class TestMultiVolField:
