@@ -8,11 +8,15 @@ and prints per-step diagnostics and the component time breakdown.
 The chemistry path is selectable -- every option routes through the
 batched backend subsystem (``repro.chemistry.backends``):
 
-  --chemistry none       frozen chemistry (default; fastest)
-  --chemistry percell    per-cell BDF reference loop
-  --chemistry direct     vectorized stiffness-graded batch integrator
-  --chemistry surrogate  ODENet inference (trained on the fly)
-  --chemistry hybrid     temperature-split DNN + direct
+  --chemistry none            frozen chemistry (default; fastest)
+  --chemistry percell         per-cell BDF reference loop
+  --chemistry direct          vectorized stiffness-graded batch integrator
+  --chemistry surrogate       ODENet inference (trained on the fly)
+  --chemistry hybrid          temperature-split DNN + direct
+  --chemistry hybrid-trained  registered surrogate artifact with the
+                              per-cell trust gate (``--trust-gate``);
+                              ends with the gate hit/audit/fallback
+                              counters
 
 The transport path is selectable too:
 
@@ -60,6 +64,7 @@ import argparse
 import numpy as np
 
 from repro.core import (
+    TRUST_GATE_MODES,
     BatchedChemistry,
     DeepFlameSolver,
     DirectChemistry,
@@ -69,10 +74,12 @@ from repro.core import (
     SolverSettings,
     build_tgv_case,
 )
+from repro.core import build_chemistry as chemistry_from_settings
 from repro.orchestrate import Ensemble
 from repro.solvers import SolverControls
 
-CHOICES = ("none", "percell", "direct", "surrogate", "hybrid")
+CHOICES = ("none", "percell", "direct", "surrogate", "hybrid",
+           "hybrid-trained")
 TRANSPORT_CHOICES = ("coupled", "per-species")
 
 
@@ -116,13 +123,21 @@ def _quick_odenet(mech, case, dt):
     return net
 
 
-def build_chemistry(name: str, mech, case, dt):
+def build_chemistry(name: str, mech, case, dt, trust_gate: str):
     if name == "none":
         return NoChemistry()
     if name == "percell":
         return DirectChemistry(mech)
     if name == "direct":
         return BatchedChemistry(mech)
+    if name == "hybrid-trained":
+        # Everything here is settings-driven: the registered artifact,
+        # the fp32/tabulated-GeLU engine and the trust gate all come
+        # from the validated SolverSettings fields.
+        print("Loading the registered 'tgv-hotspot' surrogate artifact ...")
+        return chemistry_from_settings(
+            SolverSettings(chemistry="hybrid-trained",
+                           trust_gate=trust_gate), mech)
     print(f"Training a demo ODENet for the {name!r} backend ...")
     net = _quick_odenet(mech, case, dt)
     if name == "surrogate":
@@ -261,6 +276,13 @@ def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     ap.add_argument("--chemistry", choices=CHOICES, default="none",
                     help="chemistry backend (default: none)")
+    ap.add_argument("--trust-gate", choices=TRUST_GATE_MODES,
+                    default="domain+audit",
+                    help="per-cell trust gate of the hybrid-trained "
+                         "backend: scaled-space domain check against "
+                         "the artifact's training manifold, optionally "
+                         "plus direct-backend spot audits "
+                         "(default: domain+audit)")
     ap.add_argument("--transport", choices=TRANSPORT_CHOICES,
                     default="coupled",
                     help="species/momentum transport path "
@@ -322,7 +344,8 @@ def main() -> None:
           f"{case.temperature.max():.0f}] K, p = "
           f"{case.pressure.values[0]/1e6:.0f} MPa")
 
-    chemistry = build_chemistry(args.chemistry, case.mech, case, dt)
+    chemistry = build_chemistry(args.chemistry, case.mech, case, dt,
+                                args.trust_gate)
     solver = DeepFlameSolver.from_settings(case, settings,
                                            chemistry=chemistry)
     print(f"  initial density range: [{solver.rho.min():.1f}, "
@@ -378,6 +401,12 @@ def main() -> None:
                 f"{label}:{cells}" for label, cells, _ in stats.sub_batches))
         for child, st in stats.per_backend.items():
             print(f"  {child}: {st.n_cells} cells, work {st.total_work:.0f}")
+
+    counters = getattr(solver.chemistry, "gate_counters", None)
+    if counters is not None:
+        print("\nTrust-gate counters (cumulative over the run):")
+        for key, val in counters.items():
+            print(f"  {key:16s} {val}")
 
 
 if __name__ == "__main__":

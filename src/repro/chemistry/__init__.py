@@ -24,6 +24,8 @@ from .species import Nasa7Poly, Species, fit_nasa7
 # repro.dnn, which itself imports chemistry submodules.
 from .backends import (  # noqa: E402
     BACKEND_NAMES,
+    FLOPS_PER_WORK_UNIT,
+    TRUST_GATE_MODES,
     BackendStats,
     ChemistryBackend,
     DirectBatchBackend,
@@ -51,9 +53,11 @@ __all__ = [
     "BackendStats",
     "ChemistryBackend",
     "DirectBatchBackend",
+    "FLOPS_PER_WORK_UNIT",
     "HybridBackend",
     "PerCellBDFBackend",
     "SurrogateBackend",
+    "TRUST_GATE_MODES",
     "create_backend",
     "ConstantPressureReactor",
     "KineticsEvaluator",

@@ -13,7 +13,8 @@ actually computed:
 * :class:`DirectBatchBackend` — vectorized stiffness-graded RK4/ROS2
   with a BDF fallback for ignition fronts,
 * :class:`SurrogateBackend` — batched ODENet inference,
-* :class:`HybridBackend` — temperature/stiffness-split DNN + ODE.
+* :class:`HybridBackend` — trust-gated temperature/stiffness-split
+  DNN + ODE.
 
 Use :func:`create_backend` to build one by name.
 """
@@ -22,17 +23,19 @@ from __future__ import annotations
 
 from .base import BackendStats, ChemistryBackend
 from .direct import DirectBatchBackend
-from .hybrid import HybridBackend
+from .hybrid import TRUST_GATE_MODES, HybridBackend
 from .percell import PerCellBDFBackend
-from .surrogate import SurrogateBackend
+from .surrogate import FLOPS_PER_WORK_UNIT, SurrogateBackend
 
 __all__ = [
     "BackendStats",
     "ChemistryBackend",
     "DirectBatchBackend",
+    "FLOPS_PER_WORK_UNIT",
     "HybridBackend",
     "PerCellBDFBackend",
     "SurrogateBackend",
+    "TRUST_GATE_MODES",
     "BACKEND_NAMES",
     "create_backend",
 ]
@@ -62,8 +65,9 @@ def create_backend(name: str, mech=None, odenet=None, engine=None, **kwargs):
     ``mech`` is required for ``percell``/``direct``/``hybrid``;
     ``odenet`` (a trained :class:`~repro.dnn.odenet.ODENet`) for
     ``surrogate``/``hybrid``.  Remaining keyword arguments go to the
-    backend constructor (for ``hybrid``: ``t_window``, ``z_max`` plus
-    ``direct_kwargs`` forwarded to the embedded direct backend).
+    backend constructor (for ``hybrid``: ``t_window``, ``z_max``, the
+    trust-gate knobs ``trust_gate``/``audit_fraction``/``audit_tol``,
+    plus ``direct_kwargs`` forwarded to the embedded direct backend).
     """
     canon = _canonical(name)
     if canon == "percell":

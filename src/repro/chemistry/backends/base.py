@@ -48,6 +48,9 @@ class BackendStats:
     sub_batches: list[tuple[str, int, int]] = field(default_factory=list)
     #: per-child breakdown for composite backends: name -> BackendStats
     per_backend: dict[str, "BackendStats"] = field(default_factory=dict)
+    #: trust-gate counters for this call (hybrid backend): surrogate /
+    #: gated-out / audited / audit-failure cell counts
+    gate: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_work(self) -> float:

@@ -3,7 +3,10 @@
 Routes whole batches through the framework-free inference stack
 (:mod:`repro.dnn.inference`) so the precision / tabulated-GeLU /
 batch-size fast paths all apply.  Work per cell is uniform by
-construction — the DNN's structural fix for chemistry load imbalance.
+construction — the DNN's structural fix for chemistry load imbalance —
+and is priced in *inference FLOPs* converted to the direct backend's
+work units, so composite backends and the chemistry load balancer can
+mix surrogate and integrator cells in one cost model.
 """
 
 from __future__ import annotations
@@ -21,7 +24,19 @@ if TYPE_CHECKING:  # import at type-check time only: repro.dnn imports
     from ...dnn.inference import InferenceEngine
     from ...dnn.odenet import ODENet
 
-__all__ = ["SurrogateBackend"]
+__all__ = ["SurrogateBackend", "FLOPS_PER_WORK_UNIT"]
+
+#: inference FLOPs equivalent to one direct-backend work unit (one
+#: graded-integrator step).  Calibrated from measured wall time: one
+#: integrator step on this machine costs about as much as 25k dense
+#: inference FLOPs, so a (64, 64) surrogate cell (~14 kFLOP) prices at
+#: ~0.6 units vs ~12 units for a frozen direct cell — the ~20x gap the
+#: trained-hybrid bench measures.
+FLOPS_PER_WORK_UNIT = 25_000.0
+
+#: per-element FLOPs charged for the exact (tanh) GeLU when no engine
+#: is attached (mirrors ``repro.dnn.layers.GeLU.FLOPS_PER_ELEMENT``)
+_EXACT_GELU_FLOPS = 12
 
 
 class SurrogateBackend(ChemistryBackend):
@@ -33,7 +48,7 @@ class SurrogateBackend(ChemistryBackend):
         A trained :class:`~repro.dnn.odenet.ODENet`.
     engine:
         Optional :class:`~repro.dnn.inference.InferenceEngine`; pass
-        one built with ``precision="fp16"`` / ``gelu="table"`` to use
+        one built with ``precision="fp32"`` / ``gelu="table"`` to use
         the optimized inference paths.  ``None`` runs the exact fp64
         forward.
     """
@@ -46,22 +61,52 @@ class SurrogateBackend(ChemistryBackend):
         self.odenet = odenet
         self.engine = engine
 
+    def _flops_per_cell(self) -> float:
+        """Dense + activation inference FLOPs for one cell."""
+        net = self.odenet.net
+        act = net.activation_elements_per_sample()
+        if self.engine is not None and self.engine.table is not None:
+            act_flops = act * self.engine.table.FLOPS_PER_ELEMENT
+        else:
+            act_flops = act * _EXACT_GELU_FLOPS
+        return float(net.flops_per_sample() + act_flops)
+
+    def work_per_cell_estimate(self) -> float:
+        """Uniform per-cell work in direct-backend units.
+
+        Inference FLOPs per cell divided by
+        :data:`FLOPS_PER_WORK_UNIT` — the price composite backends and
+        the load balancer charge a pure-surrogate cell.
+        """
+        return self._flops_per_cell() / FLOPS_PER_WORK_UNIT
+
+    def work_estimate(self, y, t, p, dt) -> np.ndarray:
+        """Uniform FLOP-priced estimate (state-independent)."""
+        y, t, p = self._as_batch(y, t, p)
+        return np.full(t.shape[0], self.work_per_cell_estimate())
+
     def advance(self, y, t, p, dt):
         """Advance the batch by one ODENet inference.
 
         Returns ``(Y_new, T_in, stats)`` -- temperature passes through
         unchanged (the solver re-derives it from ``(h, p, Y)``) and
-        work is uniform at one unit per cell.
+        work is uniform at the FLOP-derived per-cell price.
         """
         y, t, p = self._as_batch(y, t, p)
         n = t.shape[0]
         t0 = time.perf_counter()
         y_new = self.odenet.advance(t, p, y, dt, engine=self.engine)
         wall = time.perf_counter() - t0
+        if self.engine is not None and self.engine.last_stats is not None:
+            work = self.engine.last_stats.total_flops / max(n, 1) \
+                / FLOPS_PER_WORK_UNIT
+        else:
+            work = self.work_per_cell_estimate()
+        work_per_cell = np.full(n, work)
         stats = BackendStats(
             backend=self.name, n_cells=n, wall_time=wall,
-            work_per_cell=np.ones(n),
-            sub_batches=[("dnn", n, n)],
+            work_per_cell=work_per_cell,
+            sub_batches=[("dnn", n, int(round(work_per_cell.sum())))],
         )
         # Temperature is re-derived from (h, p, Y) by the solver's
         # property evaluation; the surrogate leaves it unchanged.

@@ -23,6 +23,7 @@ from .settings import (
     CHEMISTRY_MODES,
     PARTITION_METHODS,
     TRANSPORT_MODES,
+    TRUST_GATE_MODES,
     SolverSettings,
     build_chemistry,
     build_solver,
@@ -55,6 +56,7 @@ __all__ = [
     "StepDiagnostics",
     "StepTimings",
     "TRANSPORT_MODES",
+    "TRUST_GATE_MODES",
     "build_chemistry",
     "build_hotspot_tgv_case",
     "build_rocket_case",

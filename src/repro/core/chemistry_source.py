@@ -120,7 +120,13 @@ class ODENetChemistry(BackendChemistry):
 
 
 class HybridChemistry(BackendChemistry):
-    """Temperature/stiffness-split DNN + direct integration."""
+    """Trust-gated temperature/stiffness-split DNN + direct integration.
+
+    ``trust_gate``/``audit_*``/``ood_capacity`` configure the per-cell
+    trust gate of the underlying
+    :class:`~repro.chemistry.backends.HybridBackend`; the cumulative
+    gate counters are exposed as :attr:`gate_counters`.
+    """
 
     def __init__(
         self,
@@ -129,15 +135,27 @@ class HybridChemistry(BackendChemistry):
         engine: InferenceEngine | None = None,
         t_window: tuple[float, float] = (500.0, 3000.0),
         z_max: float | None = None,
+        trust_gate: str = "off",
+        audit_fraction: float = 0.02,
+        audit_tol: float = 1e-6,
+        audit_seed: int = 0,
+        ood_capacity: int = 4096,
         **direct_kwargs,
     ):
         super().__init__(HybridBackend(
             SurrogateBackend(odenet, engine=engine),
             DirectBatchBackend(mech, **direct_kwargs),
-            t_window=t_window, z_max=z_max,
+            t_window=t_window, z_max=z_max, trust_gate=trust_gate,
+            audit_fraction=audit_fraction, audit_tol=audit_tol,
+            audit_seed=audit_seed, ood_capacity=ood_capacity,
         ))
         self.mech = mech
         self.odenet = odenet
+
+    @property
+    def gate_counters(self) -> dict:
+        """Cumulative trust-gate hit/audit/fallback counters."""
+        return self.backend.counters
 
 
 class NoChemistry:

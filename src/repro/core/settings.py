@@ -42,6 +42,7 @@ __all__ = [
     "BALANCE_MODES",
     "PARTITION_METHODS",
     "KRYLOV_VARIANTS",
+    "TRUST_GATE_MODES",
     "resolve_settings",
     "build_chemistry",
     "build_solver",
@@ -49,8 +50,13 @@ __all__ = [
 
 #: accepted ``SolverSettings.transport`` values
 TRANSPORT_MODES = ("coupled", "per-species")
-#: accepted ``SolverSettings.chemistry`` values
-CHEMISTRY_MODES = ("none", "percell", "direct", "surrogate", "hybrid")
+#: accepted ``SolverSettings.chemistry`` values; ``"hybrid-trained"``
+#: loads a registered surrogate artifact and trust-gates the split
+CHEMISTRY_MODES = ("none", "percell", "direct", "surrogate", "hybrid",
+                   "hybrid-trained")
+#: accepted ``SolverSettings.trust_gate`` values (canonical enforcement
+#: lives in :class:`repro.chemistry.backends.HybridBackend`)
+TRUST_GATE_MODES = ("off", "domain", "domain+audit")
 #: accepted ``SolverSettings.balance_chemistry`` values (canonical home;
 #: ``repro.dist.balance`` re-exports this tuple)
 BALANCE_MODES = ("none", "static", "dynamic")
@@ -88,10 +94,18 @@ class SolverSettings:
     chemistry:
         Chemistry backend choice (one of :data:`CHEMISTRY_MODES`).
         ``"surrogate"``/``"hybrid"`` need a trained net supplied via
-        ``chemistry_options["odenet"]`` (see :func:`build_chemistry`).
+        ``chemistry_options["odenet"]``; ``"hybrid-trained"`` loads a
+        registered artifact instead (``chemistry_options["model"]``
+        names it, default ``"tgv-hotspot"``) and applies the
+        :attr:`trust_gate` (see :func:`build_chemistry`).
     chemistry_options:
         Extra keyword arguments for the backend constructor
-        (e.g. ``rtol``, ``atol``, ``t_window``).
+        (e.g. ``rtol``, ``atol``, ``t_window``, ``audit_fraction``).
+    trust_gate:
+        Per-cell trust-gate mode of the ``"hybrid-trained"`` backend
+        (one of :data:`TRUST_GATE_MODES`): domain check of each cell
+        against the artifact's trained manifold, optionally plus
+        direct-backend spot audits.  Other chemistry modes ignore it.
     transport:
         ``"coupled"`` (blocked multi-RHS solves) or ``"per-species"``.
     fast_assembly:
@@ -127,6 +141,7 @@ class SolverSettings:
 
     chemistry: str = "none"
     chemistry_options: dict = field(default_factory=dict)
+    trust_gate: str = "domain+audit"
     transport: str = "coupled"
     fast_assembly: bool = True
     n_correctors: int = 2
@@ -155,6 +170,7 @@ class SolverSettings:
     def validate(self) -> "SolverSettings":
         """Raise ``ValueError``/``TypeError`` on any invalid field."""
         _check_choice("chemistry", self.chemistry, CHEMISTRY_MODES)
+        _check_choice("trust_gate", self.trust_gate, TRUST_GATE_MODES)
         _check_choice("transport", self.transport, TRANSPORT_MODES)
         _check_choice("balance_chemistry", self.balance_chemistry,
                       BALANCE_MODES)
@@ -300,7 +316,13 @@ def build_chemistry(settings: SolverSettings, mech):
     ``"surrogate"``/``"hybrid"`` additionally require a trained
     :class:`~repro.dnn.ODENet` under ``chemistry_options["odenet"]``
     (nets are trained artifacts, not configuration -- see
-    ``examples/train_surrogates.py``).
+    ``examples/train_surrogates.py``).  ``"hybrid-trained"`` instead
+    loads a versioned artifact from the model registry --
+    ``chemistry_options`` may name the ``model`` (default
+    ``"tgv-hotspot"``), a ``model_version`` and a ``registry`` root --
+    wires up the optimized fp32 fused-GeLU inference engine and
+    applies ``settings.trust_gate`` (see
+    ``examples/train_hybrid_model.py`` for producing artifacts).
     """
     from .chemistry_source import (
         BatchedChemistry,
@@ -318,6 +340,26 @@ def build_chemistry(settings: SolverSettings, mech):
         return DirectChemistry(mech, **opts)
     if kind == "direct":
         return BatchedChemistry(mech, **opts)
+    if kind == "hybrid-trained":
+        odenet = opts.pop("odenet", None)
+        if odenet is None:
+            from ..dnn import ModelRegistry
+
+            registry = (ModelRegistry(opts.pop("registry"))
+                        if "registry" in opts else ModelRegistry.default())
+            odenet = registry.load(opts.pop("model", "tgv-hotspot"), mech,
+                                   opts.pop("model_version", None))
+        if "engine" not in opts:
+            # fused beats the paper's table on hosts with vectorized
+            # transcendentals (the table targets machines without
+            # them) and adds zero approximation error
+            opts["engine"] = odenet.make_engine(precision="fp32",
+                                                gelu="fused")
+        # the domain gate replaces the coarse temperature proxy: keep
+        # the window wide open unless the caller narrows it
+        opts.setdefault("t_window", (0.0, 1e9))
+        opts.setdefault("trust_gate", settings.trust_gate)
+        return HybridChemistry(mech, odenet, **opts)
     odenet = opts.pop("odenet", None)
     if odenet is None:
         raise ValueError(

@@ -68,15 +68,27 @@ class GeLUTable:
         self.n_entries = n
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Tabulated GeLU of ``x`` (identity/zero outside the range).
+
+        The hot path is gather-bound: index math runs in fp32 (no
+        fp64 round-trip), the interval midpoint is recomputed from the
+        index instead of gathered, and the coefficient lookups go
+        through ``np.take`` -- one fewer gather and markedly less
+        temporary traffic than naive fancy indexing.
+        """
         x = np.asarray(x)
         dtype = self._a.dtype
         xq = x.astype(dtype)
-        idx = np.clip(
-            ((xq.astype(np.float64) - self.x_min) / self.interval).astype(np.int64),
-            0, self.n_entries - 1,
-        )
-        d = xq - self._mids[idx]
-        val = self._a[idx] + d * (self._b[idx] + d * self._c[idx])
+        xi = xq.astype(np.float32, copy=False)
+        idx = ((xi - np.float32(self.x_min))
+               * np.float32(1.0 / self.interval)).astype(np.intp)
+        np.clip(idx, 0, self.n_entries - 1, out=idx)
+        # same formula that built self._mids, so bitwise-equal to the
+        # gathered midpoints at a fraction of the memory traffic
+        mid = (self.x_min + (idx + 0.5) * self.interval).astype(dtype)
+        d = xq - mid
+        val = (np.take(self._a, idx)
+               + d * (np.take(self._b, idx) + d * np.take(self._c, idx)))
         out = np.where(x < self.x_min, dtype.type(0.0),
                        np.where(x > self.x_max, xq, val))
         return out
@@ -88,5 +100,6 @@ class GeLUTable:
             self(xs).astype(np.float64) - gelu_exact(xs))))
 
     def table_bytes(self) -> int:
+        """Memory footprint of the stored coefficients."""
         return int(self._a.nbytes + self._b.nbytes + self._c.nbytes
                    + self._mids.nbytes)

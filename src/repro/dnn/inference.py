@@ -7,7 +7,10 @@ engine mirrors exactly:
 * ``precision``: ``"fp32"`` (baseline) or ``"fp16"`` (mixed-precision
   linear layers, Sec. 3.3.1),
 * ``gelu``: ``"exact"`` (tanh) or ``"table"`` (2nd-order tabulation,
-  Sec. 3.3.2),
+  Sec. 3.3.2), plus ``"fused"`` -- the exact tanh form with fused
+  dtype-preserving arithmetic, the fastest choice on hosts whose BLAS
+  stack ships vectorized transcendentals (the table targets machines
+  that lack them),
 * ``batch_size``: batched evaluation enabling the double-buffered
   overlap of Sec. 3.3.3 (captured by the performance model).
 
@@ -24,7 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .gelu_table import GeLUTable
-from .layers import GeLU, Linear, gelu_exact
+from .layers import GeLU, Linear, gelu_exact, gelu_fused
 from .network import MLP
 from .quantize import QuantizedMLPWeights
 
@@ -43,10 +46,12 @@ class InferenceStats:
 
     @property
     def total_flops(self) -> int:
+        """Linear plus activation flops of the call."""
         return self.linear_flops + self.activation_flops
 
     @property
     def flops_per_second(self) -> float:
+        """Achieved throughput (0 when untimed)."""
         return self.total_flops / self.wall_time if self.wall_time > 0 else 0.0
 
 
@@ -63,7 +68,7 @@ class InferenceEngine:
     ):
         if precision not in ("fp64", "fp32", "fp16"):
             raise ValueError(f"unknown precision {precision!r}")
-        if gelu not in ("exact", "table"):
+        if gelu not in ("exact", "fused", "table"):
             raise ValueError(f"unknown gelu mode {gelu!r}")
         self.net = net
         self.precision = precision
@@ -81,6 +86,8 @@ class InferenceEngine:
     def _activation(self, x: np.ndarray) -> np.ndarray:
         if self.table is not None:
             return self.table(x)
+        if self.gelu_mode == "fused":
+            return gelu_fused(x)
         return gelu_exact(x)
 
     def _forward_batch(self, x: np.ndarray) -> np.ndarray:

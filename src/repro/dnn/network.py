@@ -27,13 +27,16 @@ class MLP:
 
     @property
     def n_in(self) -> int:
+        """Input feature count."""
         return self.sizes[0]
 
     @property
     def n_out(self) -> int:
+        """Output feature count."""
         return self.sizes[-1]
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Full forward pass; ``training`` caches layer inputs."""
         for layer in self.layers:
             x = layer.forward(x, training=training)
         return x
@@ -41,24 +44,29 @@ class MLP:
     __call__ = forward
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate, accumulating every layer's parameter grads."""
         for layer in reversed(self.layers):
             grad_out = layer.backward(grad_out)
         return grad_out
 
     def zero_grad(self) -> None:
+        """Reset all accumulated parameter gradients."""
         for layer in self.layers:
             layer.zero_grad()
 
     def parameters(self):
+        """``(value, grad)`` pairs across all layers."""
         params = []
         for layer in self.layers:
             params.extend(layer.parameters())
         return params
 
     def n_parameters(self) -> int:
+        """Total trainable parameter count."""
         return int(sum(p.size for p, _ in self.parameters()))
 
     def linear_layers(self) -> list[Linear]:
+        """The Linear layers in forward order (weights to persist)."""
         return [l for l in self.layers if isinstance(l, Linear)]
 
     def flops_per_sample(self) -> int:
@@ -71,6 +79,7 @@ class MLP:
 
     # -- persistence --------------------------------------------------
     def save(self, path) -> None:
+        """Store sizes and weights as one npz archive."""
         arrays = {}
         for i, lin in enumerate(self.linear_layers()):
             arrays[f"w{i}"] = lin.weight
@@ -79,6 +88,7 @@ class MLP:
 
     @classmethod
     def load(cls, path) -> "MLP":
+        """Rebuild a net saved by :meth:`save`."""
         data = np.load(path)
         net = cls(tuple(int(s) for s in data["sizes"]))
         for i, lin in enumerate(net.linear_layers()):

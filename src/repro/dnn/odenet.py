@@ -23,6 +23,7 @@ import numpy as np
 from ..chemistry.mechanism import Mechanism
 from .inference import InferenceEngine
 from .network import MLP
+from .registry import TrustRegion
 from .scaling import BoxCoxTransform, ZScoreScaler
 from .training import TrainingHistory, train_mlp
 
@@ -42,6 +43,7 @@ class ODENet:
         self.boxcox = BoxCoxTransform(boxcox_lambda)
         self.in_scaler = ZScoreScaler()
         self.out_scaler = ZScoreScaler()
+        self.domain: TrustRegion | None = None
         self.trained = False
 
     @classmethod
@@ -71,21 +73,38 @@ class ODENet:
         lr: float = 3e-3,
         batch_size: int = 64,
         seed: int = 0,
+        domain_margin: float = 0.5,
     ) -> TrainingHistory:
-        """Train on reactor-sampled pairs (see
-        :meth:`repro.chemistry.reactor.ConstantPressureReactor.sample_training_pairs`)."""
+        """Train on sampled pairs (see :mod:`repro.dnn.dataset` or
+        :meth:`repro.chemistry.reactor.ConstantPressureReactor.sample_training_pairs`).
+
+        Fits the scalers, records the training manifold's
+        :class:`~repro.dnn.registry.TrustRegion` (scaled-space bounds
+        plus ``domain_margin``) for the hybrid backend's domain gate,
+        then trains the net.
+        """
         feats = self._features(t, p, y, dt)
         self.in_scaler.fit(feats)
         self.out_scaler.fit(delta_y)
+        scaled = self.in_scaler.transform(feats)
+        self.domain = TrustRegion.fit(scaled, margin=domain_margin)
         hist = train_mlp(
             self.net,
-            self.in_scaler.transform(feats),
+            scaled,
             self.out_scaler.transform(delta_y),
             epochs=epochs, lr=lr, batch_size=batch_size, seed=seed,
             lr_decay=0.995,
         )
         self.trained = True
         return hist
+
+    def scaled_features(self, t, p, y, dt) -> np.ndarray:
+        """The net's scaled input features for the given states.
+
+        The coordinate system of :attr:`domain` -- the hybrid trust
+        gate checks these rows against the trained manifold's bounds.
+        """
+        return self.in_scaler.transform(self._features(t, p, y, dt))
 
     # ----------------------------------------------------------------
     def predict_delta_y(
@@ -112,5 +131,55 @@ class ODENet:
 
     def make_engine(self, precision: str = "fp32", gelu: str = "exact",
                     batch_size: int = 8192) -> InferenceEngine:
+        """An :class:`InferenceEngine` over this net's weights."""
         return InferenceEngine(self.net, precision=precision, gelu=gelu,
                                batch_size=batch_size)
+
+    # -- persistence --------------------------------------------------
+    def save(self, path) -> None:
+        """Store weights, scalers and trust region as one npz archive.
+
+        The artifact a :class:`~repro.dnn.registry.ModelRegistry`
+        versions; :meth:`load` restores a bit-identical surrogate.
+        """
+        if not self.trained:
+            raise ValueError("refusing to save an untrained ODENet")
+        arrays: dict = {"sizes": np.array(self.net.sizes),
+                        "boxcox_lambda": np.array(self.boxcox.lam)}
+        for i, lin in enumerate(self.net.linear_layers()):
+            arrays[f"w{i}"] = lin.weight
+            arrays[f"b{i}"] = lin.bias
+        for prefix, scaler in (("in", self.in_scaler),
+                               ("out", self.out_scaler)):
+            st = scaler.state()
+            arrays[f"{prefix}_mean"] = st["mean"]
+            arrays[f"{prefix}_std"] = st["std"]
+        if self.domain is not None:
+            for key, val in self.domain.state().items():
+                arrays[f"domain_{key}"] = val
+        np.savez(path, **arrays)
+
+    @classmethod
+    def load(cls, path, mech: Mechanism) -> "ODENet":
+        """Restore an :meth:`ODENet.save` artifact for ``mech``."""
+        data = np.load(path)
+        sizes = tuple(int(s) for s in data["sizes"])
+        if sizes[-1] != mech.n_species:
+            raise ValueError(
+                f"artifact has {sizes[-1]} output species, mechanism "
+                f"has {mech.n_species}")
+        net = cls(mech, hidden=sizes[1:-1], seed=0,
+                  boxcox_lambda=float(data["boxcox_lambda"]))
+        for i, lin in enumerate(net.net.linear_layers()):
+            lin.weight[:] = data[f"w{i}"]
+            lin.bias[:] = data[f"b{i}"]
+        net.in_scaler = ZScoreScaler.from_state(
+            {"mean": data["in_mean"], "std": data["in_std"]})
+        net.out_scaler = ZScoreScaler.from_state(
+            {"mean": data["out_mean"], "std": data["out_std"]})
+        if "domain_lo" in data:
+            net.domain = TrustRegion.from_state(
+                {"lo": data["domain_lo"], "hi": data["domain_hi"],
+                 "margin": data["domain_margin"]})
+        net.trained = True
+        return net

@@ -138,6 +138,7 @@ class PRNet:
 
     def fit_from_manifold(self, rf: RealFluidMixture, pressure: float,
                           **kwargs) -> tuple[TrainingHistory, TrainingHistory]:
+        """Sample the real-fluid manifold at ``pressure`` and fit."""
         feats, rho_t, trans_t = sample_property_manifold(
             self.mech, rf, pressure)
         return self.fit(feats, rho_t, trans_t, **kwargs)

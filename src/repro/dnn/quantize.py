@@ -51,5 +51,6 @@ class QuantizedMLPWeights:
         ]
 
     def linear(self, idx: int, x: np.ndarray) -> np.ndarray:
+        """Mixed-precision forward through stored layer ``idx``."""
         w, b = self.layers[idx]
         return quantize_fp16(quantize_fp16(x) @ w.T + b)

@@ -22,16 +22,19 @@ class ZScoreScaler:
         self.std: np.ndarray | None = None
 
     def fit(self, x: np.ndarray) -> "ZScoreScaler":
+        """Record per-feature mean and (floored) std of ``x``."""
         x = np.asarray(x, dtype=float)
         self.mean = x.mean(axis=0)
         self.std = np.maximum(x.std(axis=0), 1e-30)
         return self
 
     def transform(self, x: np.ndarray) -> np.ndarray:
+        """Standardize ``x`` with the fitted statistics."""
         self._check()
         return (np.asarray(x, dtype=float) - self.mean) / self.std
 
     def inverse(self, z: np.ndarray) -> np.ndarray:
+        """Undo :meth:`transform`."""
         self._check()
         return np.asarray(z, dtype=float) * self.std + self.mean
 
@@ -40,10 +43,12 @@ class ZScoreScaler:
             raise RuntimeError("scaler not fitted")
 
     def state(self) -> dict:
+        """Serializable fitted statistics (see :meth:`from_state`)."""
         return {"mean": self.mean, "std": self.std}
 
     @classmethod
     def from_state(cls, state: dict) -> "ZScoreScaler":
+        """Rebuild a fitted scaler from :meth:`state` output."""
         s = cls()
         s.mean = np.asarray(state["mean"], float)
         s.std = np.asarray(state["std"], float)
@@ -61,9 +66,11 @@ class BoxCoxTransform:
         self.eps = float(eps)
 
     def transform(self, x: np.ndarray) -> np.ndarray:
+        """Box-Cox transform of non-negative ``x`` (floored at eps)."""
         x = np.maximum(np.asarray(x, dtype=float), self.eps)
         return (np.power(x, self.lam) - 1.0) / self.lam
 
     def inverse(self, z: np.ndarray) -> np.ndarray:
+        """Undo :meth:`transform` (clipped at zero)."""
         base = np.maximum(1.0 + self.lam * np.asarray(z, dtype=float), 0.0)
         return np.power(base, 1.0 / self.lam)

@@ -37,6 +37,7 @@ class Adam:
         self.t = 0
 
     def step(self) -> None:
+        """One bias-corrected Adam update of every parameter."""
         self.t += 1
         b1t = 1.0 - self.beta1**self.t
         b2t = 1.0 - self.beta2**self.t
@@ -57,10 +58,12 @@ class TrainingHistory:
 
     @property
     def final_train(self) -> float:
+        """Last epoch's training loss."""
         return self.train_loss[-1]
 
     @property
     def final_val(self) -> float:
+        """Last epoch's validation loss (NaN without a val split)."""
         return self.val_loss[-1] if self.val_loss else np.nan
 
 

@@ -147,8 +147,12 @@ class TestSurrogateBackend:
         y /= y.sum(axis=1, keepdims=True)
         sb = SurrogateBackend(quick_odenet)
         y_new, t_new, st = sb.advance(y, t, PRESSURE, 1e-7)
-        assert st.load_imbalance == 0.0
-        np.testing.assert_array_equal(st.work_per_cell, np.ones(7))
+        assert st.load_imbalance == pytest.approx(0.0, abs=1e-12)
+        # work is uniform and FLOP-priced: far below one integrator step
+        assert np.all(st.work_per_cell == st.work_per_cell[0])
+        assert 0.0 < st.work_per_cell[0] < 1.0
+        np.testing.assert_allclose(st.work_per_cell,
+                                   sb.work_per_cell_estimate(), rtol=0.5)
         np.testing.assert_array_equal(t_new, t)  # T re-derived by solver
         np.testing.assert_allclose(y_new.sum(axis=1), 1.0, atol=1e-12)
         assert y_new.min() >= 0.0
@@ -190,8 +194,10 @@ class TestHybridBackend:
         assert set(st.per_backend) == {"surrogate", "direct"}
         assert st.per_backend["surrogate"].n_cells == int(mask.sum())
         assert st.per_backend["direct"].n_cells == int((~mask).sum())
-        # surrogate cells cost 1 unit, direct cells their step counts
-        np.testing.assert_array_equal(st.work_per_cell[mask], 1.0)
+        # surrogate cells are FLOP-priced well under one integrator
+        # step; direct cells keep their step counts
+        assert np.all(st.work_per_cell[mask] == st.work_per_cell[mask][0])
+        assert np.all(st.work_per_cell[mask] < 1.0)
         assert np.all(st.work_per_cell[~mask] >= 1.0)
         assert st.total_work == pytest.approx(
             st.per_backend["surrogate"].total_work

@@ -13,6 +13,7 @@ from repro.dnn import (
     PRNet,
     ZScoreScaler,
     gelu_exact,
+    gelu_fused,
     gelu_grad,
     gradient_check,
     mixed_linear_forward,
@@ -28,6 +29,18 @@ class TestLayers:
         assert gelu_exact(10.0) == pytest.approx(10.0, rel=1e-6)
         assert gelu_exact(-10.0) == pytest.approx(0.0, abs=1e-6)
         assert gelu_exact(1.0) == pytest.approx(0.8412, abs=2e-3)
+
+    def test_gelu_fused_matches_exact(self):
+        xs = np.linspace(-6, 6, 1201)
+        np.testing.assert_allclose(gelu_fused(xs), gelu_exact(xs),
+                                   rtol=0, atol=1e-14)
+
+    def test_gelu_fused_preserves_fp32(self):
+        xs = np.linspace(-6, 6, 1201, dtype=np.float32)
+        out = gelu_fused(xs)
+        assert out.dtype == np.float32
+        np.testing.assert_allclose(out, gelu_exact(xs.astype(np.float64)),
+                                   rtol=0, atol=1e-6)
 
     def test_gelu_grad_matches_fd(self):
         xs = np.linspace(-4, 4, 41)
@@ -208,6 +221,13 @@ class TestInferenceEngine:
         e1 = InferenceEngine(net, gelu="exact").run(x)
         e2 = InferenceEngine(net, gelu="table").run(x)
         assert np.abs(e1 - e2).max() < 5e-2
+
+    def test_fused_vs_exact_gelu(self, net):
+        x = np.random.default_rng(14).normal(size=(64, 4))
+        e1 = InferenceEngine(net, gelu="exact").run(x)
+        e2 = InferenceEngine(net, gelu="fused").run(x)
+        # same math, only the operation fusion differs: fp32 roundoff
+        assert np.abs(e1 - e2).max() < 1e-5
 
     def test_batching_invariant(self, net):
         x = np.random.default_rng(13).normal(size=(100, 4))

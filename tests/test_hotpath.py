@@ -140,18 +140,26 @@ class TestCSRPattern:
 class TestCachedDIC:
     @given(seed=st.integers(0, 2**31 - 1))
     @settings(**SETTINGS)
-    def test_bitwise_equal_to_reference_dic(self, seed):
+    def test_equal_to_reference_dic(self, seed):
+        # Within a wavefront level the vectorized factor loop may apply
+        # same-cell diagonal updates in a different order than the
+        # sequential reference, so the factor (and everything downstream
+        # of it) is only guaranteed to a few ulps, not bitwise
+        # (hypothesis counterexample: seed 82 on the periodic 3x3x4 box,
+        # one entry of r_d off by exactly 1 ulp).
         rng = np.random.default_rng(seed)
         mesh = build_box_mesh(3, 3, 4, periodic=(True, True, False))
         a = _random_ldu(mesh, rng, spd=True)
         ref = DICPreconditioner(a)
         fast = CachedDICPreconditioner(a)
-        assert np.array_equal(ref.r_d, fast.r_d)
+        np.testing.assert_allclose(fast.r_d, ref.r_d, rtol=1e-15, atol=0)
         r = rng.normal(size=mesh.n_cells)
-        assert np.array_equal(ref.apply(r.copy()), fast.apply(r.copy()))
+        np.testing.assert_allclose(fast.apply(r.copy()), ref.apply(r.copy()),
+                                   rtol=1e-14, atol=1e-300)
         rb = rng.normal(size=(mesh.n_cells, 4))
-        assert np.array_equal(ref.apply_multi(rb.copy()),
-                              fast.apply_multi(rb.copy()))
+        np.testing.assert_allclose(fast.apply_multi(rb.copy()),
+                                   ref.apply_multi(rb.copy()),
+                                   rtol=1e-14, atol=1e-300)
 
     def test_value_only_refresh(self):
         rng = np.random.default_rng(13)
