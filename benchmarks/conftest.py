@@ -26,6 +26,20 @@ def pytest_addoption(parser):
         help="also run the executed (domain-decomposed, in-process) "
              "communication benches next to the analytic models",
     )
+    parser.addoption(
+        "--backend", action="store", default="numpy",
+        help="array backend the kernel benches run through "
+             "(a repro.backend registry name; default: numpy)",
+    )
+
+
+#: session-active backend/dtype context stamped on every emitted table
+#: (callers override per table where a bench runs another dtype)
+_ACTIVE = {"backend": "numpy", "dtype": "fp64"}
+
+
+def pytest_configure(config):
+    _ACTIVE["backend"] = str(config.getoption("--backend", "numpy"))
 
 
 @pytest.fixture(scope="session")
@@ -40,9 +54,35 @@ def executed(request) -> bool:
     return bool(request.config.getoption("--executed"))
 
 
-def emit(title: str, lines: list[str]) -> None:
-    """Print a result table and persist it under benchmarks/results/."""
-    block = "\n".join([f"== {title} ==", *lines, ""])
+@pytest.fixture(scope="session")
+def bench_backend(request):
+    """The ArrayBackend selected with ``--backend``.
+
+    Skips the requesting bench when the backend is registered but its
+    optional dependency is missing on this host (CuPy, torch,
+    array-api-strict).
+    """
+    from repro.backend import get_backend
+
+    name = request.config.getoption("--backend")
+    try:
+        return get_backend(name)
+    except ValueError as exc:
+        pytest.skip(str(exc))
+
+
+def emit(title: str, lines: list[str], backend: str | None = None,
+         dtype: str | None = None) -> None:
+    """Print a result table and persist it under benchmarks/results/.
+
+    Every block records the array backend and dtype it was measured
+    under (the session ``--backend`` selection unless overridden), so
+    regenerated ``summary.txt`` rows from different legs stay
+    distinguishable.
+    """
+    ctx = (f"backend={backend or _ACTIVE['backend']} "
+           f"dtype={dtype or _ACTIVE['dtype']}")
+    block = "\n".join([f"== {title} [{ctx}] ==", *lines, ""])
     print("\n" + block)
     with open(RESULTS_DIR / "summary.txt", "a") as f:
         f.write(block + "\n")

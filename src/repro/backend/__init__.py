@@ -1,0 +1,35 @@
+"""Pluggable array backends for the hot-path kernels.
+
+``repro.backend`` is the thin array-namespace shim that lets the
+allocation-free, batch-shaped kernels (CSR scatter/gather, blocked
+Krylov reductions, fused assembly, vectorized kinetics, batched EoS
+roots, the DNN matmul/GeLU stack) run on any Array-API-compatible
+namespace.  NumPy is the default *and* the validation reference;
+``array-api-strict`` is the CI compliance backend; CuPy and torch
+adapters import lazily and can be extended through the
+``repro.array_backends`` entry-point group.
+
+Select a backend per solver via ``SolverSettings.backend`` or per
+kernel call via the ``backend=`` parameter; ``get_backend(None)``
+resolves to numpy everywhere, keeping the pre-shim call sites
+bitwise-unchanged.
+"""
+
+from .base import ArrayBackend, BackendCapabilities
+from .registry import (
+    available_backends,
+    backend_names,
+    default_backend,
+    get_backend,
+    register_backend,
+)
+
+__all__ = [
+    "ArrayBackend",
+    "BackendCapabilities",
+    "available_backends",
+    "backend_names",
+    "default_backend",
+    "get_backend",
+    "register_backend",
+]

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend import get_backend
 from ..constants import R_UNIVERSAL
 from .mechanism import Mechanism
 
@@ -159,6 +160,76 @@ class KineticsEvaluator:
         q_rev = kr * self._conc_products(conc_ext, self._rev_slots)
         q_rev[:, tb] *= m_eff[:, tb]
         q_rev[:, ~self._reversible] = 0.0
+        return q_fwd, q_fwd - q_rev
+
+    def rates_of_progress_backend(self, t, conc, backend=None):
+        """Backend-generic forward/net rates of progress.
+
+        The portable spelling of :meth:`_rates_block`: the Arrhenius
+        sweep (``pow``/``exp``), the third-body matmul, the padded
+        gather-product tables (``take`` along the species axis) and the
+        third-body / reversibility masking (``where`` instead of
+        boolean-mask in-place updates) all run on the backend in the
+        dtype of ``conc``.  Host-side pieces, documented: the
+        equilibrium constants (NASA-7 polynomial evaluation) and the
+        few per-reaction falloff closures are evaluated in host numpy
+        and shipped over, exactly as the legacy path computes them.
+
+        Returns device ``(q_fwd, q_net)``; the NumPy backend at fp64
+        reproduces :meth:`rates_of_progress` bitwise.  Mechanisms with
+        non-integer orders fall back to the host reference loop and
+        transfer the result.
+        """
+        be = get_backend(backend)
+        xp = be.xp
+        t_host = np.atleast_1d(np.asarray(t, dtype=float))
+        if not self._vector_ok:
+            q_fwd, q_net = self.rates_of_progress_reference(t_host, conc)
+            dt_ = be.to_device(conc).dtype
+            return be.to_device(q_fwd, dtype=dt_), \
+                be.to_device(q_net, dtype=dt_)
+        mech = self.mech
+        conc_d = be.to_device(conc)
+        dt_ = conc_d.dtype
+        t_d = be.to_device(t_host, dtype=dt_)
+        n = t_host.shape[0]
+
+        conc_pos = xp.maximum(conc_d, xp.zeros(conc_d.shape, dtype=dt_))
+        kc = be.to_device(mech.equilibrium_constants(t_host), dtype=dt_)
+        eff_t = be.to_device(mech.efficiencies.T, dtype=dt_)
+        m_eff = be.matmul(conc_pos, eff_t)
+
+        rt = R_UNIVERSAL * t_d[:, None]
+        arr_a = be.to_device(self._arr_a, dtype=dt_)
+        arr_b = be.to_device(self._arr_b, dtype=dt_)
+        arr_ea = be.to_device(self._arr_ea, dtype=dt_)
+        kf = arr_a * xp.pow(t_d[:, None], arr_b) * xp.exp(-arr_ea / rt)
+        if self._falloff_idx.size:
+            m_eff_host = be.from_device(m_eff).astype(float)
+            for j in self._falloff_idx:
+                col = mech.reactions[j].forward_rate_constant(
+                    t_host, m_eff_host[:, j])
+                kf[:, int(j)] = be.to_device(col, dtype=dt_)
+
+        conc_ext = xp.concat(
+            [conc_pos, xp.ones((n, 1), dtype=dt_)], axis=1)
+
+        def products(slots):
+            prod = be.take(conc_ext, be.to_device(slots[:, 0]), axis=1)
+            for k in range(1, slots.shape[1]):
+                prod = prod * be.take(
+                    conc_ext, be.to_device(slots[:, k]), axis=1)
+            return prod
+
+        tb = be.to_device(self._third_body)
+        q_fwd = kf * products(self._fwd_slots)
+        q_fwd = xp.where(tb, q_fwd * m_eff, q_fwd)
+
+        kr = kf / xp.maximum(kc, xp.full(kc.shape, 1e-300, dtype=dt_))
+        q_rev = kr * products(self._rev_slots)
+        q_rev = xp.where(tb, q_rev * m_eff, q_rev)
+        q_rev = xp.where(be.to_device(self._reversible), q_rev,
+                         xp.zeros(q_rev.shape, dtype=dt_))
         return q_fwd, q_fwd - q_rev
 
     @staticmethod

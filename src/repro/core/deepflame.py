@@ -202,6 +202,11 @@ class DeepFlameSolver:
         # strictly sequentially, and every workspace buffer is zeroed,
         # refilled or value-refreshed per use, so sharing is
         # bitwise-neutral (asserted by the orchestration tests).
+        ws_backend = settings.workspace_backend
+        if ws_backend is not None and not self.fast_assembly:
+            raise ValueError(
+                "a non-numpy backend rides the fused workspace path; "
+                "set fast_assembly=True")
         if workspace is not None:
             if not self.fast_assembly:
                 raise ValueError(
@@ -209,10 +214,19 @@ class DeepFlameSolver:
             if workspace.mesh is not self.mesh:
                 raise ValueError(
                     "shared workspace was built for a different mesh")
+            # None (the legacy hot path) and "numpy" are the same
+            # numbers; anything else must match the settings exactly
+            def _norm(b):
+                return getattr(b, "name", b) or "numpy"
+            if _norm(workspace.backend) != _norm(ws_backend):
+                raise ValueError(
+                    f"shared workspace runs backend "
+                    f"{workspace.backend!r} but settings ask for "
+                    f"{settings.backend!r}")
             self._ws = workspace
         else:
-            self._ws = EquationWorkspace(self.mesh) if self.fast_assembly \
-                else None
+            self._ws = EquationWorkspace(self.mesh, backend=ws_backend) \
+                if self.fast_assembly else None
 
         mesh = self.mesh
         self.u = case.velocity

@@ -33,6 +33,7 @@ import copy
 import warnings
 from dataclasses import dataclass, field, fields, replace
 
+from ..backend import backend_names
 from ..solvers.controls import SolverControls
 
 __all__ = [
@@ -137,6 +138,16 @@ class SolverSettings:
         Post the ghost refresh of every distributed matvec nonblocking
         and compute the interior rows while it is in flight
         (decomposed path only).
+    backend:
+        Array backend name for the hot-path kernels (a
+        :mod:`repro.backend` registry name).  ``"numpy"`` (default) is
+        the legacy in-place numpy hot path -- bitwise and
+        allocation-identical to the pre-shim solver; any other name
+        routes the fused assembly and the blocked-Krylov reductions
+        through that backend's array namespace.  Validated against
+        the registered names only -- whether the backend's runtime
+        dependency imports is checked at first use, so settings for a
+        GPU run can be built (and serialized) on a GPU-less host.
     """
 
     chemistry: str = "none"
@@ -157,6 +168,7 @@ class SolverSettings:
     balance_options: dict = field(default_factory=dict)
     krylov_variant: str = "synchronous"
     overlap_halo: bool = False
+    backend: str = "numpy"
 
     def __post_init__(self):
         # Accept plain dicts for the controls (the from_dict/CLI path).
@@ -178,6 +190,12 @@ class SolverSettings:
                       PARTITION_METHODS)
         _check_choice("krylov_variant", self.krylov_variant,
                       KRYLOV_VARIANTS)
+        if not isinstance(self.backend, str):
+            raise TypeError(
+                f"backend must be a registry name string "
+                f"(got {self.backend!r}); pass ArrayBackend instances "
+                f"directly to the kernel/workspace APIs instead")
+        _check_choice("backend", self.backend, tuple(backend_names()))
         if not isinstance(self.overlap_halo, bool):
             raise TypeError(f"overlap_halo must be a bool "
                             f"(got {self.overlap_halo!r})")
@@ -202,6 +220,17 @@ class SolverSettings:
     def is_decomposed(self) -> bool:
         """True when these settings describe a multi-rank run."""
         return self.ranks >= 2
+
+    @property
+    def workspace_backend(self) -> str | None:
+        """The backend to hand the assembly/solve layer.
+
+        ``None`` for ``"numpy"``: the legacy hot path IS the numpy
+        backend (same kernels, zero dispatch overhead), so the
+        default settings keep the solver bitwise and
+        allocation-identical to the pre-shim code.
+        """
+        return None if self.backend == "numpy" else self.backend
 
     # -- derivation ----------------------------------------------------
     def overlay(self, **overrides) -> "SolverSettings":

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend import get_backend
 from .layers import gelu_exact, gelu_grad
 
 __all__ = ["GeLUTable"]
@@ -66,6 +67,8 @@ class GeLUTable:
         self._b = gelu_grad(mids).astype(dtype)
         self._c = (0.5 * _gelu_second_derivative(mids)).astype(dtype)
         self.n_entries = n
+        # per-backend device copies of (a, b, c), transferred once
+        self._device_tables: dict[str, tuple] = {}
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         """Tabulated GeLU of ``x`` (identity/zero outside the range).
@@ -92,6 +95,56 @@ class GeLUTable:
         out = np.where(x < self.x_min, dtype.type(0.0),
                        np.where(x > self.x_max, xq, val))
         return out
+
+    def apply_backend(self, x, backend=None):
+        """Backend-generic tabulated GeLU (fp64 / fp32 tables).
+
+        Same index math and two-term Horner as :meth:`__call__`, spelled
+        in the Array API subset: fp32 index computation, truncating
+        ``astype`` instead of ``.astype(np.intp)``, flattened ``take``
+        gathers and ``where`` range handling (the midpoint recompute
+        goes through an explicit float cast of the index -- mixed
+        int-array/float-scalar arithmetic is outside the spec).  The
+        coefficient tables are shipped to the device once per backend
+        and cached.  The NumPy backend reproduces :meth:`__call__`
+        bitwise.
+
+        fp16 tables take a documented host fallback (``float16`` is
+        optional in the Array API standard and ``array-api-strict``
+        omits it): the legacy numpy path runs on host data and the
+        result is transferred.
+        """
+        be = get_backend(backend)
+        xp = be.xp
+        xd = be.to_device(x)
+        if self.precision == "fp16":
+            return be.to_device(self(be.from_device(xd)))
+        dt = be.dtype_of(self.precision)
+        tabs = self._device_tables.get(be.name)
+        if tabs is None:
+            tabs = tuple(be.to_device(tab)
+                         for tab in (self._a, self._b, self._c))
+            self._device_tables[be.name] = tabs
+        a_d, b_d, c_d = tabs
+
+        xq = xp.astype(xd, dt)
+        xi = xp.astype(xq, xp.float32)
+        idx = xp.astype((xi - float(np.float32(self.x_min)))
+                        * float(np.float32(1.0 / self.interval)), xp.int64)
+        idx = xp.clip(idx, 0, self.n_entries - 1)
+        idx_f = xp.astype(idx, xp.float64)
+        mid = xp.astype(self.x_min + (idx_f + 0.5) * self.interval, dt)
+        d = xq - mid
+        shp = xq.shape
+        idx1 = xp.reshape(idx, (-1,))
+
+        def gather(tab):
+            return xp.reshape(be.take(tab, idx1), shp)
+
+        val = gather(a_d) + d * (gather(b_d) + d * gather(c_d))
+        zero = xp.zeros(shp, dtype=dt)
+        return xp.where(xd < self.x_min, zero,
+                        xp.where(xd > self.x_max, xq, val))
 
     def max_error(self, n_samples: int = 200_001) -> float:
         """Max absolute error vs. exact GeLU over [x_min-1, x_max+1]."""

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..backend import get_backend
 from .gelu_table import GeLUTable
 from .layers import GeLU, Linear, gelu_exact, gelu_fused
 from .network import MLP
@@ -65,15 +66,24 @@ class InferenceEngine:
         gelu: str = "exact",
         batch_size: int = 8192,
         gelu_table: GeLUTable | None = None,
+        backend=None,
     ):
         if precision not in ("fp64", "fp32", "fp16"):
             raise ValueError(f"unknown precision {precision!r}")
         if gelu not in ("exact", "fused", "table"):
             raise ValueError(f"unknown gelu mode {gelu!r}")
+        if backend is not None and precision == "fp16":
+            # the fp16 path quantizes through numpy-specific scaling
+            # machinery and float16 is optional in the Array API
+            raise ValueError("precision='fp16' runs on the host path "
+                             "only; drop the backend selection")
         self.net = net
         self.precision = precision
         self.gelu_mode = gelu
         self.batch_size = int(batch_size)
+        #: array backend for the matmul/GeLU stack (None = legacy numpy)
+        self.backend = backend
+        self._dev_weights: list | None = None
         self._quantized = QuantizedMLPWeights(net) if precision == "fp16" else None
         if gelu == "table":
             table_prec = "fp16" if precision == "fp16" else "fp32"
@@ -91,6 +101,8 @@ class InferenceEngine:
         return gelu_exact(x)
 
     def _forward_batch(self, x: np.ndarray) -> np.ndarray:
+        if self.backend is not None:
+            return self._forward_batch_backend(x)
         linear_idx = 0
         if self.precision == "fp32":
             x = x.astype(np.float32)
@@ -107,6 +119,44 @@ class InferenceEngine:
             elif isinstance(layer, GeLU):
                 x = self._activation(x)
         return np.asarray(x, dtype=np.float64)
+
+    def _forward_batch_backend(self, x: np.ndarray) -> np.ndarray:
+        """The matmul/GeLU stack on the selected array backend.
+
+        The fp32 weight policy matches the legacy path exactly: weights
+        and biases are cast on the host, shipped to the device once
+        (cached for the engine's lifetime) and every layer computes
+        ``x @ W^T + b`` via the backend ``matmul``.  On the NumPy
+        backend the cached transposes are the same views the legacy
+        expression builds, so fp32 results are bitwise-identical;
+        matmul reduction order on other backends carries the documented
+        ulp budget.  Output returns to the host as fp64, as the legacy
+        path does.
+        """
+        be = get_backend(self.backend)
+        if self._dev_weights is None:
+            cast = np.float32 if self.precision == "fp32" else np.float64
+            self._dev_weights = [
+                (be.to_device(layer.weight.astype(cast).T),
+                 be.to_device(layer.bias.astype(cast)))
+                for layer in self.net.layers if isinstance(layer, Linear)
+            ]
+        dt = "fp32" if self.precision == "fp32" else "fp64"
+        xd = be.to_device(x, dtype=dt)
+        linear_idx = 0
+        for layer in self.net.layers:
+            if isinstance(layer, Linear):
+                wt, bias = self._dev_weights[linear_idx]
+                xd = be.matmul(xd, wt) + bias
+                linear_idx += 1
+            elif isinstance(layer, GeLU):
+                if self.table is not None:
+                    xd = self.table.apply_backend(xd, backend=be)
+                elif self.gelu_mode == "fused":
+                    xd = gelu_fused(xd, backend=be)
+                else:
+                    xd = gelu_exact(xd, backend=be)
+        return np.asarray(be.from_device(xd), dtype=np.float64)
 
     def run(self, x: np.ndarray) -> np.ndarray:
         """Batched inference over all samples; records stats."""

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend import get_backend
+
 __all__ = ["Linear", "GeLU", "Identity", "gelu_exact", "gelu_fused",
            "gelu_grad"]
 
@@ -17,14 +19,32 @@ _SQRT_2_OVER_PI = np.sqrt(2.0 / np.pi)
 _C = 0.044715
 
 
-def gelu_exact(x: np.ndarray) -> np.ndarray:
+def gelu_exact(x: np.ndarray, backend=None) -> np.ndarray:
     """GeLU via the tanh approximation (the transcendental-heavy form
-    whose cost motivates the paper's tabulation)."""
-    inner = _SQRT_2_OVER_PI * (x + _C * x**3)
-    return 0.5 * x * (1.0 + np.tanh(inner))
+    whose cost motivates the paper's tabulation).
+
+    ``backend=None`` is the untouched legacy numpy body; an explicit
+    backend evaluates the same expression through the array namespace
+    (``pow`` spelled with a dtype-matched 0-D exponent, so the NumPy
+    backend reproduces ``x**3``'s pow-ufunc path bitwise).
+    """
+    if backend is None:
+        inner = _SQRT_2_OVER_PI * (x + _C * x**3)
+        return 0.5 * x * (1.0 + np.tanh(inner))
+    be = get_backend(backend)
+    xp = be.xp
+    xd = be.to_device(x)
+    cube = xp.pow(xd, xp.asarray(3.0, dtype=xd.dtype))
+    # the legacy body promotes through the float64 sqrt(2/pi) constant
+    # AFTER the cube, so the cube is computed in the input dtype and
+    # the tanh in float64 -- reproduce that promotion point explicitly
+    # (a raw np.float64 constant binds weakly on strict backends and
+    # would silently skip the upcast there)
+    inner = float(_SQRT_2_OVER_PI) * xp.astype(xd + _C * cube, xp.float64)
+    return 0.5 * xp.astype(xd, xp.float64) * (1.0 + xp.tanh(inner))
 
 
-def gelu_fused(x: np.ndarray) -> np.ndarray:
+def gelu_fused(x: np.ndarray, backend=None) -> np.ndarray:
     """The same tanh-form GeLU with fused dtype-preserving arithmetic.
 
     Mathematically identical to :func:`gelu_exact` but written for
@@ -35,7 +55,22 @@ def gelu_fused(x: np.ndarray) -> np.ndarray:
     the way through SIMD ``tanh``.  On such hosts this beats the
     paper's table -- the table exists for machines where ``tanh``
     itself is the bottleneck.
+
+    With an explicit ``backend``, the identical multiply-expanded
+    expression runs through the array namespace; Python-scalar
+    constants bind to the input dtype per the Array API promotion
+    rules, so fp32 stays fp32 on every backend.
     """
+    if backend is not None:
+        be = get_backend(backend)
+        xp = be.xp
+        xd = be.to_device(x)
+        # python-float constants bind to the array dtype (Array API
+        # promotion), matching the legacy dt.type(...) casts bitwise
+        with np.errstate(over="ignore"):
+            inner = xp.tanh(float(_SQRT_2_OVER_PI)
+                            * (xd + _C * (xd * xd * xd)))
+        return 0.5 * xd * (1.0 + inner)
     x = np.asarray(x)
     dt = x.dtype if x.dtype.kind == "f" else np.float64
     c1 = dt.type(_SQRT_2_OVER_PI)

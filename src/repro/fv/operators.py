@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend import get_backend
 from ..runtime import alloc
 from ..solvers.blocked import pbicgstab_solve_multi, pcg_solve_multi
 from ..solvers.controls import SolverControls, SolverResult
@@ -228,6 +229,9 @@ class CoupledTransportEquation:
         ws = self.workspace
         csr = self.a.to_csr(pattern=self.pattern)
         kws = ws.krylov if ws else None
+        # the workspace's array backend supplies the blocked-reduction
+        # kernels (None = the legacy numpy spellings, bitwise)
+        be = ws.backend if ws is not None else None
 
         def mv(x: np.ndarray) -> np.ndarray:
             return csr @ x
@@ -242,14 +246,14 @@ class CoupledTransportEquation:
             x, results = pcg_solve_multi(
                 self.a, self.source, x0=self.field.values,
                 preconditioner=pre.apply_multi, controls=controls, matvec=mv,
-                workspace=kws)
+                workspace=kws, backend=be)
         elif solver == "PBiCGStab":
             pre = ws.jacobi(self.a) if ws is not None \
                 else JacobiPreconditioner(self.a)
             x, results = pbicgstab_solve_multi(
                 self.a, self.source, x0=self.field.values,
                 preconditioner=pre.apply_multi,
-                controls=controls, matvec=mv, workspace=kws)
+                controls=controls, matvec=mv, workspace=kws, backend=be)
         else:
             raise ValueError(f"unknown blocked solver {solver!r}")
         if update:
@@ -269,6 +273,7 @@ def assemble_transport(
     rho_old: np.ndarray | float | None = None,
     old_values: np.ndarray | None = None,
     scheme: str = "upwind",
+    backend=None,
 ) -> None:
     """Fused single-pass assembly of ``ddt + div - laplacian`` into
     preallocated, zeroed ``(a, b)`` buffers.
@@ -283,7 +288,23 @@ def assemble_transport(
     sources differ) or a scalar :class:`VolField` with ``b`` of shape
     ``(n,)`` -- the scalar case fuses what ``fvm_ddt + fvm_div -
     fvm_laplacian`` builds through three temporaries and an add chain.
+
+    ``backend=None`` is the untouched legacy numpy path.  An explicit
+    backend routes the coefficient accumulation through
+    :func:`_assemble_transport_backend`: the same term sequence runs
+    against device mirrors of ``(diag, upper, lower, b)`` in *their*
+    dtype, with every face scatter going through
+    :meth:`ArrayBackend.scatter_add`.  Boundary-condition coefficient
+    evaluation stays host-side (it queries Python BC objects); only
+    the resulting per-patch products are shipped to the device.  The
+    NumPy backend mutates the buffers in place (bitwise-identical to
+    the legacy path); other backends write the mirrors back on exit.
     """
+    if backend is not None:
+        _assemble_transport_backend(
+            a, b, field, rho, dt, phi=phi, gamma=gamma, rho_old=rho_old,
+            old_values=old_values, scheme=scheme, backend=backend)
+        return
     mesh = field.mesh
     n = mesh.n_cells
     nif = mesh.n_internal_faces
@@ -337,6 +358,111 @@ def assemble_transport(
             gsf = gamma_f[p.slice] * mag_sf_b[sl]
             np.add.at(a.diag, cells, -gsf * gi)
             np.add.at(b, cells, gsf[:, None] * gb if multi else gsf * gb)
+
+
+def _assemble_transport_backend(
+    a, b, field, rho, dt, phi=None, gamma=None, rho_old=None,
+    old_values=None, scheme="upwind", backend=None,
+) -> None:
+    """Backend-generic body of :func:`assemble_transport`.
+
+    Accumulates the same terms in the same order as the legacy path,
+    but against backend arrays mirroring ``(a.diag, a.upper, a.lower,
+    b)`` in the dtype those buffers carry (fp32 buffers stay fp32 --
+    host-computed coefficients are cast on transfer, never the
+    buffers).  On the NumPy backend the mirrors *are* the buffers, so
+    the result is bitwise-identical to ``backend=None``; on other
+    backends the mirrors are written back at the end.
+    """
+    be = get_backend(backend)
+    mesh = field.mesh
+    n = mesh.n_cells
+    nif = mesh.n_internal_faces
+    v = mesh.cell_volumes
+    multi = b.ndim == 2
+
+    dd = be.to_device(a.diag)
+    du = be.to_device(a.upper)
+    dl = be.to_device(a.lower)
+    db = be.to_device(b)
+    dt_ = dd.dtype
+    own = be.to_device(np.asarray(mesh.owner[:nif], dtype=np.int64))
+    nb = be.to_device(np.asarray(mesh.neighbour, dtype=np.int64))
+
+    # ddt
+    rho_b = np.broadcast_to(np.asarray(rho, float), (n,))
+    rho_old_b = rho_b if rho_old is None else np.broadcast_to(
+        np.asarray(rho_old, float), (n,))
+    old = field.values if old_values is None else \
+        np.asarray(old_values, float)
+    dd += be.to_device(rho_b * v / dt, dtype=dt_)
+    if multi:
+        db += be.to_device((rho_old_b * v / dt)[:, None] * old, dtype=dt_)
+    else:
+        db += be.to_device(rho_old_b * v / dt * old, dtype=dt_)
+
+    deltas = mesh.boundary_delta_coeffs()
+
+    # div (convection)
+    if phi is not None:
+        xp = be.xp
+        phi_d = be.to_device(phi.internal, dtype=dt_)
+        zero = xp.zeros(phi_d.shape, dtype=dt_)
+        if scheme == "upwind":
+            pos = xp.maximum(phi_d, zero)
+            neg = xp.minimum(phi_d, zero)
+            be.scatter_add(dd, own, pos)
+            du += neg
+            be.scatter_add(dd, nb, -neg)
+            dl += -pos
+        elif scheme == "linear":
+            w = be.to_device(mesh.face_interpolation_weights(), dtype=dt_)
+            be.scatter_add(dd, own, phi_d * w)
+            du += phi_d * (1.0 - w)
+            be.scatter_add(dd, nb, -(phi_d * (1.0 - w)))
+            dl += -(phi_d * w)
+        else:
+            raise ValueError(f"unknown div scheme {scheme!r}")
+        for p in mesh.patches:
+            sl = slice(p.start - nif, p.start - nif + p.size)
+            cells = be.to_device(
+                np.asarray(mesh.owner[p.slice], dtype=np.int64))
+            if multi:
+                vi, vb = field.patch_value_coeffs(p.name, deltas[sl])
+            else:
+                vi, vb = field.boundary[p.name].value_coeffs(deltas[sl])
+            phib = phi.boundary[sl]
+            be.scatter_add(dd, cells, be.to_device(phib * vi, dtype=dt_))
+            be.scatter_add(db, cells, be.to_device(
+                -phib[:, None] * vb if multi else -phib * vb, dtype=dt_))
+
+    # - laplacian (diffusion), subtracted as in the PDE
+    if gamma is not None:
+        gamma_f = _face_gamma(mesh, gamma)
+        coeff = be.to_device(_laplacian_coeff(mesh, gamma_f), dtype=dt_)
+        du -= coeff
+        dl -= coeff
+        be.scatter_add(dd, own, coeff)
+        be.scatter_add(dd, nb, coeff)
+        mag_sf_b = mesh.face_area_mags()[nif:]
+        for p in mesh.patches:
+            sl = slice(p.start - nif, p.start - nif + p.size)
+            cells = be.to_device(
+                np.asarray(mesh.owner[p.slice], dtype=np.int64))
+            if multi:
+                gi, gb = field.patch_gradient_coeffs(p.name, deltas[sl])
+            else:
+                gi, gb = field.boundary[p.name].gradient_coeffs(deltas[sl])
+            gsf = gamma_f[p.slice] * mag_sf_b[sl]
+            be.scatter_add(dd, cells, be.to_device(-gsf * gi, dtype=dt_))
+            be.scatter_add(db, cells, be.to_device(
+                gsf[:, None] * gb if multi else gsf * gb, dtype=dt_))
+
+    if not be.is_numpy:
+        a.diag[...] = be.from_device(dd)
+        a.upper[...] = be.from_device(du)
+        a.lower[...] = be.from_device(dl)
+        b[...] = be.from_device(db)
 
 
 def fvm_ddt(rho: np.ndarray | float, field: VolField, dt: float,

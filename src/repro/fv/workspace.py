@@ -45,10 +45,20 @@ __all__ = ["EquationWorkspace"]
 
 
 class EquationWorkspace:
-    """Persistent assembly + solve buffers for one mesh."""
+    """Persistent assembly + solve buffers for one mesh.
 
-    def __init__(self, mesh):
+    ``backend`` (a registry name or :class:`ArrayBackend`; default
+    ``None``) selects the array backend the fused assembly runs on.
+    ``None`` keeps the legacy in-place numpy hot path -- bitwise and
+    allocation-identical to the pre-shim workspace; an explicit
+    backend routes every :func:`assemble_transport` through the
+    backend-generic body (see
+    ``repro.fv.operators._assemble_transport_backend``).
+    """
+
+    def __init__(self, mesh, backend=None):
         self.mesh = mesh
+        self.backend = backend
         self.pattern = CSRPattern.from_mesh(mesh)
         self.ldu = LDUMatrix.from_mesh(mesh)
         self.krylov = KrylovWorkspace()
@@ -92,7 +102,7 @@ class EquationWorkspace:
         a, b = self._buffers(None)
         assemble_transport(a, b, field, rho, dt, phi=phi, gamma=gamma,
                            rho_old=rho_old, old_values=old_values,
-                           scheme=scheme)
+                           scheme=scheme, backend=self.backend)
         return FVMatrix(field, a, b, workspace=self)
 
     def transport_multi(
@@ -111,7 +121,7 @@ class EquationWorkspace:
         a, b = self._buffers(field.k)
         assemble_transport(a, b, field, rho, dt, phi=phi, gamma=gamma,
                            rho_old=rho_old, old_values=old_values,
-                           scheme=scheme)
+                           scheme=scheme, backend=self.backend)
         return CoupledTransportEquation(field, a, b, pattern=self.pattern,
                                         workspace=self)
 

@@ -94,9 +94,16 @@ class Ensemble:
         self.manager = SettingsManager(base, overlays)
         self.cache = cache if cache is not None else CaseCache()
         self._properties = properties
+        # the shared workspace assembles on the base settings' backend;
+        # per-instance backend overlays refuse the shared workspace at
+        # solver construction (sharing device buffers across namespaces
+        # has no meaning)
+        self._ws_backend = (base.workspace_backend
+                            if base is not None else None)
         if case_builder is not None:
             self.cache.get(self.DEFAULT_CASE, builder=case_builder,
-                           properties=properties)
+                           properties=properties,
+                           backend=self._ws_backend)
         self.instances: list[SolverInstance] = []
         self._by_name: dict[str, SolverInstance] = {}
         self.conduits: list[Conduit] = []
@@ -125,7 +132,8 @@ class Ensemble:
         key = case_key if case_key is not None else (
             self.DEFAULT_CASE if case_builder is None else full)
         resources = self.cache.get(key, builder=case_builder,
-                                   properties=self._properties)
+                                   properties=self._properties,
+                                   backend=self._ws_backend)
         inst = SolverInstance(full, len(self.instances), settings,
                               resources, chemistry=chemistry)
         self.instances.append(inst)

@@ -3,6 +3,9 @@ Jacobi / DIC / (block-)symmetric-GS preconditioning, plus blocked
 multi-RHS PCG/PBiCGStab for shared-operator transport solves."""
 
 from .blocked import (
+    backend_fused_reduce,
+    backend_ifused_reduce,
+    backend_reductions,
     fused_pbicgstab_solve_multi,
     pbicgstab_solve_multi,
     pcg_solve_multi,
@@ -18,6 +21,7 @@ from .preconditioners import (
     DICStructure,
     JacobiPreconditioner,
     SymGaussSeidelPreconditioner,
+    jacobi_apply,
 )
 from .workspace import KrylovWorkspace
 
@@ -35,6 +39,10 @@ __all__ = [
     "SolverResult",
     "SymGaussSeidelPreconditioner",
     "agglomerate",
+    "backend_fused_reduce",
+    "backend_ifused_reduce",
+    "backend_reductions",
+    "jacobi_apply",
     "pbicgstab_solve",
     "pbicgstab_solve_multi",
     "pcg_solve",

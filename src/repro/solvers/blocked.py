@@ -44,6 +44,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..backend import get_backend
 from ..runtime import alloc
 from ..sparse.ldu import LDUMatrix
 from .controls import SolverControls, SolverResult
@@ -51,6 +52,9 @@ from .pcg import REDUCTIONS_PER_PCG_ITER
 from .workspace import KrylovWorkspace
 
 __all__ = [
+    "backend_fused_reduce",
+    "backend_ifused_reduce",
+    "backend_reductions",
     "fused_pbicgstab_solve_multi",
     "pbicgstab_solve_multi",
     "pcg_solve_multi",
@@ -105,6 +109,60 @@ def _ifused_reduce(dots, sums):
     return _ImmediateReduce(_fused_reduce(dots, sums))
 
 
+def backend_reductions(backend=None):
+    """``(coldot, colsum_abs)`` hooks that execute on ``backend``.
+
+    The blocked solvers keep their control flow (convergence masking,
+    column compaction) on the host; the backend supplies the *reduction
+    kernels*.  For the NumPy backend this returns the pre-shim einsum /
+    L1 spellings unchanged (bitwise, zero-copy); other backends
+    transfer the ``(n, k)`` blocks, reduce on device, and return host
+    ``(k,)`` results.  Reduction order may differ from the einsum path
+    by documented ulps (see the conformance suite's ulp budget).
+    """
+    be = get_backend(backend)
+    if be.is_numpy:
+        return _coldot, _colsum_abs
+
+    def cdot(a, b):
+        """Device per-column dot products (host in, host out)."""
+        return be.from_device(be.coldot(be.to_device(a), be.to_device(b)))
+
+    def csum(r):
+        """Device per-column L1 norms (host in, host out)."""
+        return be.from_device(be.colsum_abs(be.to_device(r)))
+
+    return cdot, csum
+
+
+def backend_fused_reduce(backend=None):
+    """A ``fused_reduce`` hook whose reductions run on ``backend``."""
+    be = get_backend(backend)
+    if be.is_numpy:
+        return _fused_reduce
+    cdot, csum = backend_reductions(be)
+
+    def freduce(dots, sums):
+        """Serial fused reduction with device reduction kernels."""
+        return ([cdot(a, b) for a, b in dots], [csum(s) for s in sums])
+
+    return freduce
+
+
+def backend_ifused_reduce(backend=None):
+    """An ``ifused_reduce`` hook whose reductions run on ``backend``."""
+    be = get_backend(backend)
+    if be.is_numpy:
+        return _ifused_reduce
+    freduce = backend_fused_reduce(be)
+
+    def ifreduce(dots, sums):
+        """Immediate (already-computed) device fused reduction."""
+        return _ImmediateReduce(freduce(dots, sums))
+
+    return ifreduce
+
+
 def _converged_mask(controls: SolverControls, res: np.ndarray,
                     res0: np.ndarray) -> np.ndarray:
     mask = res <= controls.tolerance
@@ -133,6 +191,7 @@ def pbicgstab_solve_multi(
     coldot: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
     colsum_abs: Callable[[np.ndarray], np.ndarray] | None = None,
     workspace: KrylovWorkspace | None = None,
+    backend=None,
 ) -> tuple[np.ndarray, list[SolverResult]]:
     """Solve ``A X = B`` for k right-hand sides with blocked BiCGStab.
 
@@ -140,7 +199,9 @@ def pbicgstab_solve_multi(
     own iteration count, residuals and flops (one
     :class:`SolverResult` per column, as if it had been solved alone).
     ``coldot``/``colsum_abs`` override the per-column reductions (for
-    distributed execution, where they allreduce per-rank partials).
+    distributed execution, where they allreduce per-rank partials);
+    ``backend`` picks their default implementations via
+    :func:`backend_reductions` (``None``/numpy is the pre-shim path).
     With ``workspace``, the ``(n, k)`` solution block is a pooled
     buffer that the next pooled solve will overwrite.
     """
@@ -148,8 +209,9 @@ def pbicgstab_solve_multi(
     b = _check_rhs(a, b)
     n, k = b.shape
     mv = matvec if matvec is not None else a.matvec_multi
-    cdot = coldot if coldot is not None else _coldot
-    csum = colsum_abs if colsum_abs is not None else _colsum_abs
+    be_cdot, be_csum = backend_reductions(backend)
+    cdot = coldot if coldot is not None else be_cdot
+    csum = colsum_abs if colsum_abs is not None else be_csum
     precond = preconditioner if preconditioner is not None else (lambda r: r)
     x = _block_x("bicgm.x", workspace, x0, n, k)
 
@@ -255,6 +317,7 @@ def pcg_solve_multi(
     coldot: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
     colsum_abs: Callable[[np.ndarray], np.ndarray] | None = None,
     workspace: KrylovWorkspace | None = None,
+    backend=None,
 ) -> tuple[np.ndarray, list[SolverResult]]:
     """Solve ``A X = B`` (A symmetric positive definite) for k
     right-hand sides with blocked preconditioned CG.
@@ -263,6 +326,8 @@ def pcg_solve_multi(
     iteration serve every still-active column; converged columns are
     masked out.  Per-column reduction counts are reported in
     ``details["reductions"]`` exactly as the scalar PCG does.
+    ``backend`` selects the default reduction kernels through
+    :func:`backend_reductions` (``None``/numpy is the pre-shim path).
     With ``workspace``, the ``(n, k)`` solution block is a pooled
     buffer that the next pooled solve will overwrite.
     """
@@ -270,8 +335,9 @@ def pcg_solve_multi(
     b = _check_rhs(a, b)
     n, k = b.shape
     mv = matvec if matvec is not None else a.matvec_multi
-    cdot = coldot if coldot is not None else _coldot
-    csum = colsum_abs if colsum_abs is not None else _colsum_abs
+    be_cdot, be_csum = backend_reductions(backend)
+    cdot = coldot if coldot is not None else be_cdot
+    csum = colsum_abs if colsum_abs is not None else be_csum
     precond = preconditioner if preconditioner is not None else (lambda r: r)
     x = _block_x("pcgm.x", workspace, x0, n, k)
 
@@ -351,6 +417,7 @@ def fused_pbicgstab_solve_multi(
     matvec: Callable[[np.ndarray], np.ndarray] | None = None,
     fused_reduce: Callable | None = None,
     workspace: KrylovWorkspace | None = None,
+    backend=None,
 ) -> tuple[np.ndarray, list[SolverResult]]:
     """Blocked BiCGStab with grouped reductions: 2 collectives per
     iteration instead of the synchronous variant's 6.
@@ -380,7 +447,8 @@ def fused_pbicgstab_solve_multi(
     b = _check_rhs(a, b)
     n, k = b.shape
     mv = matvec if matvec is not None else a.matvec_multi
-    freduce = fused_reduce if fused_reduce is not None else _fused_reduce
+    freduce = fused_reduce if fused_reduce is not None \
+        else backend_fused_reduce(backend)
     precond = preconditioner if preconditioner is not None else (lambda r: r)
     x = _block_x("bicgf.x", workspace, x0, n, k)
 
@@ -496,6 +564,7 @@ def pipelined_pcg_solve_multi(
     matvec: Callable[[np.ndarray], np.ndarray] | None = None,
     ifused_reduce: Callable | None = None,
     workspace: KrylovWorkspace | None = None,
+    backend=None,
 ) -> tuple[np.ndarray, list[SolverResult]]:
     """Ghysels--Vanroose pipelined PCG: one fused collective per
     iteration, overlapped with the preconditioner and matvec.
@@ -520,7 +589,8 @@ def pipelined_pcg_solve_multi(
     b = _check_rhs(a, b)
     n, k = b.shape
     mv = matvec if matvec is not None else a.matvec_multi
-    ifreduce = ifused_reduce if ifused_reduce is not None else _ifused_reduce
+    ifreduce = ifused_reduce if ifused_reduce is not None \
+        else backend_ifused_reduce(backend)
     precond = preconditioner if preconditioner is not None else (lambda r: r)
     x = _block_x("pcgp.x", workspace, x0, n, k)
 

@@ -19,7 +19,14 @@ from .gauss_seidel import (
 )
 from .ldu import LDUMatrix
 from .pattern import CSRPattern
-from .spmv import SpmvCost, spmv_block, spmv_cost, spmv_ldu, spmv_ldu_multi
+from .spmv import (
+    SpmvCost,
+    spmv_block,
+    spmv_cost,
+    spmv_faces,
+    spmv_ldu,
+    spmv_ldu_multi,
+)
 
 __all__ = [
     "BlockCSRMatrix",
@@ -35,6 +42,7 @@ __all__ = [
     "row_ranges_from_membership",
     "spmv_block",
     "spmv_cost",
+    "spmv_faces",
     "spmv_ldu",
     "spmv_ldu_multi",
 ]

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from ..backend import get_backend
 from ..runtime import alloc
 
 __all__ = ["CSRPattern"]
@@ -68,6 +69,18 @@ class CSRPattern:
         #: slot in ``data`` for each source entry (diag, upper, lower order)
         self.slots = np.empty(order.size, dtype=np.int64)
         self.slots[order] = slot_of_sorted
+
+        #: inverse of ``slots`` when it is a bijection (no duplicate
+        #: coordinates): ``data = vals[gather_src]`` -- a pure gather,
+        #: expressible as Array-API ``take`` on any backend.  ``None``
+        #: when duplicates force the accumulating scatter.
+        if self.has_duplicates:
+            self.gather_src = None
+        else:
+            self.gather_src = np.empty(self.nnz, dtype=np.int64)
+            self.gather_src[self.slots] = np.arange(
+                order.size, dtype=np.int64)
+            alloc.count(1)
 
         self.indices = c_sorted[new_entry].astype(np.int32)
         row_counts = np.bincount(r_sorted[new_entry], minlength=self.n)
@@ -121,6 +134,33 @@ class CSRPattern:
         else:
             self._data[self.slots] = self._vals
         return self._data
+
+    def fill_values(self, diag, upper, lower, backend=None):
+        """Backend-generic CSR value refresh from raw coefficient arrays.
+
+        The portable counterpart of :meth:`fill`: on patterns without
+        duplicate coordinates the precomputed :attr:`gather_src`
+        permutation turns the slot scatter into a pure ``take`` gather
+        (Array-API clean, runs fully on device).  Patterns *with*
+        duplicates need an accumulating scatter, which routes through
+        :meth:`ArrayBackend.scatter_add` -- a documented host round-trip
+        on backends without that capability (e.g. ``array-api-strict``).
+
+        Computes in the dtype of ``diag`` (``upper``/``lower`` are cast
+        to it) and returns a freshly allocated backend-native ``data``
+        array -- unlike :meth:`fill` it does not reuse the pattern's
+        fp64 buffers, so fp32 inputs yield fp32 output.
+        """
+        be = get_backend(backend)
+        xp = be.xp
+        dg = be.to_device(diag)
+        dt = dg.dtype
+        vals = xp.concat([dg, be.to_device(upper, dtype=dt),
+                          be.to_device(lower, dtype=dt)])
+        if self.gather_src is not None:
+            return be.take(vals, be.to_device(self.gather_src), axis=0)
+        data = xp.zeros((self.nnz,), dtype=dt)
+        return be.scatter_add(data, be.to_device(self.slots), vals)
 
     def csr(self, ldu) -> sp.csr_matrix:
         """Value-refresh the cached CSR matrix and return it.

@@ -11,18 +11,69 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..backend import get_backend
 from .block_csr import BlockCSRMatrix
 from .ldu import LDUMatrix
 
-__all__ = ["spmv_ldu", "spmv_ldu_multi", "spmv_block", "SpmvCost", "spmv_cost"]
+__all__ = ["spmv_ldu", "spmv_ldu_multi", "spmv_faces", "spmv_block",
+           "SpmvCost", "spmv_cost"]
 
 
-def spmv_ldu(ldu: LDUMatrix, x: np.ndarray) -> np.ndarray:
-    """y = A x via the LDU face loop."""
-    return ldu.matvec(x)
+def spmv_faces(diag, lower, upper, owner, neighbour, x, backend=None):
+    """Backend-generic LDU face-loop SpMV (``x`` 1-D or ``(n, k)``).
+
+    The portable spelling of :meth:`LDUMatrix.matvec` /
+    :meth:`~LDUMatrix.matvec_multi`: gather ``x`` at the face endpoints
+    (``take``), form the face products, and accumulate them onto the
+    owner/neighbour rows through :meth:`ArrayBackend.scatter_add`.  Each
+    triangle is accumulated into its own zero buffer and then added --
+    the same association order as the legacy ``np.bincount`` path, so
+    the NumPy backend reproduces it bitwise.
+
+    Computes in the dtype of ``x`` (coefficients are cast to it, never
+    the other way -- no silent fp32 -> fp64 upcasts) and returns a
+    backend-native array; use ``backend.from_device`` on the result if
+    host data is needed.
+    """
+    be = get_backend(backend)
+    xp = be.xp
+    xd = be.to_device(x)
+    dt = xd.dtype
+    dg = be.to_device(diag, dtype=dt)
+    lo = be.to_device(lower, dtype=dt)
+    up = be.to_device(upper, dtype=dt)
+    own = be.to_device(np.asarray(owner, dtype=np.int64))
+    nb = be.to_device(np.asarray(neighbour, dtype=np.int64))
+    x_nb = be.take(xd, nb, axis=0)
+    x_own = be.take(xd, own, axis=0)
+    if xd.ndim == 2:
+        y = dg[:, None] * xd
+        face_up = up[:, None] * x_nb
+        face_lo = lo[:, None] * x_own
+    else:
+        y = dg * xd
+        face_up = up * x_nb
+        face_lo = lo * x_own
+    acc = be.scatter_add(xp.zeros(y.shape, dtype=dt), own, face_up)
+    y = y + acc
+    acc = be.scatter_add(xp.zeros(y.shape, dtype=dt), nb, face_lo)
+    return y + acc
 
 
-def spmv_ldu_multi(ldu: LDUMatrix, x: np.ndarray) -> np.ndarray:
+def spmv_ldu(ldu: LDUMatrix, x: np.ndarray, backend=None) -> np.ndarray:
+    """y = A x via the LDU face loop.
+
+    ``backend=None`` keeps the legacy in-process numpy path (bitwise
+    and allocation-identical to the pre-shim code); an explicit backend
+    routes through the generic :func:`spmv_faces` kernel.
+    """
+    if backend is None:
+        return ldu.matvec(x)
+    return spmv_faces(ldu.diag, ldu.lower, ldu.upper,
+                      ldu.owner, ldu.neighbour, x, backend=backend)
+
+
+def spmv_ldu_multi(ldu: LDUMatrix, x: np.ndarray, backend=None) -> np.ndarray:
     """Y = A X for ``X`` of shape ``(n, k)`` — the multi-RHS reference
     kernel (exact per-column match with :func:`spmv_ldu`).
 
@@ -32,8 +83,14 @@ def spmv_ldu_multi(ldu: LDUMatrix, x: np.ndarray) -> np.ndarray:
     product (~15x at 5k cells, k=17), which is what
     ``CoupledTransportEquation.solve`` passes to the blocked Krylov
     solvers as their ``matvec``.
+
+    As with :func:`spmv_ldu`, ``backend=None`` is the untouched legacy
+    path and an explicit backend selects :func:`spmv_faces`.
     """
-    return ldu.matvec_multi(x)
+    if backend is None:
+        return ldu.matvec_multi(x)
+    return spmv_faces(ldu.diag, ldu.lower, ldu.upper,
+                      ldu.owner, ldu.neighbour, x, backend=backend)
 
 
 def spmv_block(block: BlockCSRMatrix, x: np.ndarray) -> np.ndarray:

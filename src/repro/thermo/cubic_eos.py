@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..backend import get_backend
 from ..constants import R_UNIVERSAL
 from ..chemistry.species import Species
 from .mixing import VanDerWaalsMixing
@@ -167,6 +168,87 @@ class CubicEos:
                 for k in np.flatnonzero(count > 1):
                     z[k] = self._gibbs_root(real[k][valid[k]],
                                             big_a[k], big_b[k])
+        return z
+
+    def compressibility_backend(self, t, p, x, root: str = "vapor",
+                                backend=None, dtype="fp64"):
+        """Backend-generic batched compressibility factor.
+
+        The portable spelling of :meth:`compressibility` with
+        :attr:`batched_roots`: the cubic coefficients, the stacked
+        companion matrices and the root-selection logic
+        (``where``/``max``/``min`` sweeps) run on the backend in the
+        requested dtype.  Two pieces stay on the host, documented:
+
+        * the mixture parameters ``(a_mix, b_mix)`` -- the van der
+          Waals mixing machinery is host numpy, exactly as the legacy
+          path evaluates it;
+        * the **companion eigenvalue call** on backends that do not
+          advertise the ``eigvals`` capability (the Array API linalg
+          extension only mandates the Hermitian ``eigvalsh``), which
+          round-trips through :meth:`ArrayBackend.eigvals`'s numpy
+          LAPACK fallback -- every backend therefore sees the same
+          spectrum.
+
+        ``root="gibbs"`` additionally resolves multi-root cells with
+        the host :meth:`_gibbs_root` loop (a handful of cells near
+        coexistence).  The NumPy backend at fp64 reproduces
+        :meth:`compressibility` bitwise.
+        """
+        be = get_backend(backend)
+        xp = be.xp
+        dt_ = be.dtype_of(dtype)
+        t_host = np.atleast_1d(np.asarray(t, dtype=float))
+        p_host = np.broadcast_to(np.asarray(p, dtype=float), t_host.shape)
+        x_host = np.atleast_2d(x)
+        a_mix, b_mix, _ = self.mixture_ab(t_host, x_host)
+
+        t_d = be.to_device(t_host, dtype=dt_)
+        p_d = be.to_device(p_host, dtype=dt_)
+        am = be.to_device(a_mix, dtype=dt_)
+        bm = be.to_device(b_mix, dtype=dt_)
+        rt = R_UNIVERSAL * t_d
+        big_a = am * p_d / rt**2
+        big_b = bm * p_d / rt
+        u, w = self.u, self.w
+        c2 = -(1.0 + big_b - u * big_b)
+        c1 = big_a + w * big_b**2 - u * big_b - u * big_b**2
+        c0 = -(big_a * big_b + w * big_b**2 + w * big_b**3)
+
+        n = t_host.shape[0]
+        comp = xp.zeros((n, 3, 3), dtype=dt_)
+        comp[:, 0, 0] = -c2
+        comp[:, 0, 1] = -c1
+        comp[:, 0, 2] = -c0
+        comp[:, 1, 0] = xp.ones((n,), dtype=dt_)
+        comp[:, 2, 1] = xp.ones((n,), dtype=dt_)
+        roots = be.eigvals(comp)  # (n, 3) complex
+        real = xp.astype(xp.real(roots), dt_)
+        imag = xp.astype(xp.imag(roots), dt_)
+
+        valid = (xp.abs(imag) < 1e-9) & (real > big_b[:, None])
+        count = xp.sum(xp.astype(valid, xp.int64), axis=1)
+        neg_inf = xp.full(real.shape, float("-inf"), dtype=dt_)
+        z_vapor = xp.max(xp.where(valid, real, neg_inf), axis=1)
+        z_none = xp.maximum(xp.max(real, axis=1), big_b * 1.001)
+        if root == "vapor":
+            return xp.where(count == 0, z_none, z_vapor)
+        pos_inf = xp.full(real.shape, float("inf"), dtype=dt_)
+        z_liquid = xp.min(xp.where(valid, real, pos_inf), axis=1)
+        z = xp.where(count == 0, z_none,
+                     xp.where(count == 1, z_vapor,
+                              z_liquid if root == "liquid" else z_vapor))
+        if root == "gibbs":
+            zh = np.array(be.from_device(z))
+            real_h = be.from_device(real)
+            valid_h = be.from_device(valid)
+            ba_h = be.from_device(big_a)
+            bb_h = be.from_device(big_b)
+            count_h = be.from_device(count)
+            for k in np.flatnonzero(count_h > 1):
+                zh[k] = self._gibbs_root(real_h[k][valid_h[k]],
+                                         float(ba_h[k]), float(bb_h[k]))
+            z = be.to_device(zh, dtype=dt_)
         return z
 
     def _gibbs_root(self, zs: np.ndarray, big_a: float, big_b: float) -> float:

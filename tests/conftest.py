@@ -1,4 +1,9 @@
-"""Shared fixtures: mechanism, meshes, matrices, trained surrogates."""
+"""Shared fixtures: mechanism, meshes, matrices, trained surrogates.
+
+Also the shared numerical-tolerance vocabulary: every comparison
+tolerance in the suite names one of the constants below instead of an
+ad-hoc literal, so a tolerance carries its justification with it.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +13,54 @@ import pytest
 from repro.chemistry import KineticsEvaluator, load_mechanism
 from repro.mesh import build_box_mesh, build_rocket_mesh, cell_graph_from_mesh
 from repro.sparse import LDUMatrix
+
+# -- shared comparison tolerances --------------------------------------
+#: one fp64 expression respelled (LDU vs CSR, a+a vs 2a): the only
+#: divergence is reassociated rounding of a handful of terms
+EXACT_RTOL = 1e-13
+#: exact value shuffles (format conversions, permutations) admit ulp
+#: dust at most
+EXACT_ATOL = 1e-14
+#: matrix-vector products accumulated in different orders over
+#: O(row-length) fp64 terms
+MATVEC_RTOL = 1e-12
+#: absolute floor for matvec rows that nearly cancel
+MATVEC_ATOL = 1e-12
+#: residual of an exactly-consistent system (b built as A @ x): pure
+#: accumulation rounding
+RESIDUAL_ATOL = 1e-12
+#: one triangular sweep is a direct forward substitution; its error
+#: grows with the recurrence depth
+SWEEP_RTOL = 1e-10
+#: forward error of a Krylov solve converged to residual tol ~1e-12 on
+#: the (mildly conditioned) test operators
+SOLVE_ATOL = 1e-8
+#: forward error at looser residual tolerances (1e-9..1e-10) and for
+#: multigrid cycles
+LOOSE_SOLVE_ATOL = 1e-6
+#: backend reductions (einsum vs generic ``sum(a*b)``) may reassociate;
+#: everything non-reducing must be bitwise.  4 ulps covers one extra
+#: rounding per reassociation level on the test sizes.
+REDUCTION_ULPS = 4
+
+
+def assert_max_ulps(actual, expected, ulps: int = REDUCTION_ULPS) -> None:
+    """Assert elementwise ulp distance ``<= ulps``.
+
+    The unit in the last place is measured at the expected value
+    (``np.spacing``), so the budget is scale-free and works for fp32
+    and fp64 alike.
+    """
+    actual = np.asarray(actual)
+    expected = np.asarray(expected)
+    assert actual.dtype == expected.dtype, \
+        f"dtype drift: {actual.dtype} vs {expected.dtype}"
+    tol = ulps * np.spacing(np.maximum(np.abs(expected),
+                                       np.finfo(expected.dtype).tiny))
+    bad = np.abs(actual - expected) > tol
+    assert not bad.any(), (
+        f"{int(bad.sum())} elements beyond {ulps} ulps; worst "
+        f"|diff| = {float(np.abs(actual - expected).max()):.3e}")
 
 
 @pytest.fixture(scope="session")

@@ -22,7 +22,17 @@ from repro.sparse import (
     gauss_seidel_csr,
     spmv_cost,
 )
-from tests.conftest import make_laplacian_ldu
+from tests.conftest import (
+    EXACT_ATOL,
+    EXACT_RTOL,
+    LOOSE_SOLVE_ATOL,
+    MATVEC_ATOL,
+    MATVEC_RTOL,
+    RESIDUAL_ATOL,
+    SOLVE_ATOL,
+    SWEEP_RTOL,
+    make_laplacian_ldu,
+)
 
 
 @pytest.fixture(scope="module")
@@ -41,13 +51,14 @@ class TestLDU:
     def test_matvec_matches_csr(self, spd_ldu):
         x = np.random.default_rng(0).random(spd_ldu.n)
         np.testing.assert_allclose(spd_ldu.matvec(x), spd_ldu.to_csr() @ x,
-                                   rtol=1e-9, atol=1e-12)
+                                   rtol=MATVEC_RTOL, atol=MATVEC_ATOL)
 
     def test_asymmetric_matvec(self, box_mesh):
         ldu = make_laplacian_ldu(box_mesh)
         ldu.lower[:] = -0.5  # asymmetric
         x = np.random.default_rng(1).random(ldu.n)
-        np.testing.assert_allclose(ldu.matvec(x), ldu.to_csr() @ x, rtol=1e-13)
+        np.testing.assert_allclose(ldu.matvec(x), ldu.to_csr() @ x,
+                                   rtol=MATVEC_RTOL, atol=MATVEC_ATOL)
 
     def test_symmetry_detection(self, box_mesh):
         ldu = make_laplacian_ldu(box_mesh)
@@ -60,12 +71,13 @@ class TestLDU:
         b = make_laplacian_ldu(box_mesh)
         c = a + b
         x = np.random.default_rng(2).random(a.n)
-        np.testing.assert_allclose(c.matvec(x), 2 * a.matvec(x), rtol=1e-13)
+        np.testing.assert_allclose(c.matvec(x), 2 * a.matvec(x),
+                                   rtol=EXACT_RTOL)
 
     def test_residual(self, spd_ldu):
         x = np.ones(spd_ldu.n)
         b = spd_ldu.matvec(x)
-        assert np.abs(spd_ldu.residual(x, b)).max() < 1e-12
+        assert np.abs(spd_ldu.residual(x, b)).max() < RESIDUAL_ATOL
 
     def test_nnz(self, spd_ldu):
         assert spd_ldu.nnz == spd_ldu.n + 2 * spd_ldu.n_faces
@@ -79,11 +91,12 @@ class TestBlockCSR:
     def test_matvec_matches_global(self, renumbered_setup):
         ldu, conv, blk = renumbered_setup
         x = np.random.default_rng(3).random(ldu.n)
-        np.testing.assert_allclose(blk.matvec(x), ldu.matvec(x), rtol=1e-12)
+        np.testing.assert_allclose(blk.matvec(x), ldu.matvec(x),
+                                   rtol=MATVEC_RTOL)
 
     def test_to_csr_roundtrip(self, renumbered_setup):
         ldu, _, blk = renumbered_setup
-        assert np.abs((blk.to_csr() - ldu.to_csr())).max() < 1e-14
+        assert np.abs((blk.to_csr() - ldu.to_csr())).max() < EXACT_ATOL
 
     def test_value_update_fast_path(self, renumbered_setup):
         ldu, conv, _ = renumbered_setup
@@ -94,7 +107,8 @@ class TestBlockCSR:
         ldu2.lower *= 3.0
         conv.update_values(blk, ldu2)
         x = np.random.default_rng(4).random(ldu.n)
-        np.testing.assert_allclose(blk.matvec(x), ldu2.matvec(x), rtol=1e-12)
+        np.testing.assert_allclose(blk.matvec(x), ldu2.matvec(x),
+                                   rtol=MATVEC_RTOL)
 
     def test_nnz_per_thread_balanced(self, renumbered_setup):
         """Sec. 3.2.3's load statistic: threads get similar nnz."""
@@ -162,7 +176,7 @@ class TestGaussSeidel:
         a = ldu.to_csr()
         b = np.random.default_rng(6).random(ldu.n)
         x = gauss_seidel_csr(a, b, np.zeros_like(b), sweeps=1)
-        np.testing.assert_allclose(a @ x, b, rtol=1e-10)
+        np.testing.assert_allclose(a @ x, b, rtol=SWEEP_RTOL)
 
 
 class TestKrylov:
@@ -173,7 +187,7 @@ class TestKrylov:
                            controls=SolverControls(tolerance=1e-12,
                                                    max_iterations=500))
         assert res.converged
-        np.testing.assert_allclose(x, x_ref, atol=1e-8)
+        np.testing.assert_allclose(x, x_ref, atol=SOLVE_ATOL)
 
     def test_dic_beats_jacobi(self, spd_ldu):
         b = np.random.default_rng(8).random(spd_ldu.n)
@@ -212,7 +226,7 @@ class TestKrylov:
                                  controls=SolverControls(tolerance=1e-12,
                                                          max_iterations=500))
         assert res.converged
-        np.testing.assert_allclose(x, x_ref, atol=1e-7)
+        np.testing.assert_allclose(x, x_ref, atol=LOOSE_SOLVE_ATOL)
 
     def test_zero_rhs_immediate(self, spd_ldu):
         x, res = pcg_solve(spd_ldu, np.zeros(spd_ldu.n))
@@ -231,7 +245,7 @@ class TestKrylov:
         ctl = SolverControls(tolerance=1e-12, max_iterations=500)
         x1, _ = pcg_solve(ldu, b, controls=ctl)
         x2, _ = pcg_solve(ldu, b, controls=ctl, matvec=blk.matvec)
-        np.testing.assert_allclose(x1, x2, atol=1e-8)
+        np.testing.assert_allclose(x1, x2, atol=SOLVE_ATOL)
 
 
 class TestGAMG:
@@ -249,7 +263,7 @@ class TestGAMG:
                                                          max_iterations=50))
         assert res.converged
         assert res.iterations < 25
-        np.testing.assert_allclose(x, x_ref, atol=1e-6)
+        np.testing.assert_allclose(x, x_ref, atol=LOOSE_SOLVE_ATOL)
 
     def test_gamg_has_multiple_levels(self, spd_ldu):
         solver = GAMGSolver(spd_ldu, n_coarsest=8)
@@ -262,7 +276,7 @@ class TestGAMG:
         x, res = solver.solve(b, controls=SolverControls(tolerance=1e-9,
                                                          max_iterations=60))
         assert res.converged
-        np.testing.assert_allclose(ldu.matvec(x), b, atol=1e-6)
+        np.testing.assert_allclose(ldu.matvec(x), b, atol=LOOSE_SOLVE_ATOL)
 
     def test_gamg_mesh_independent_iterations(self):
         """Iteration count grows slowly with resolution (MG property)."""
