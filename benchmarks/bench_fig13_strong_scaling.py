@@ -20,7 +20,19 @@ two ledgers side by side: the overlap-tagged traffic is charged
 ``max(t_compute, t_comm)`` (:func:`repro.runtime.overlapped_phase_time`)
 instead of the serial sum, and the fused/pipelined solvers cut the
 per-step collective count, so the modeled strong-scaling efficiency at
-8+ ranks improves."""
+8+ ranks improves.
+With ``--parallel`` (next to ``--executed``) the decomposed step
+additionally runs under the *shared-memory parallel runtime*
+(``execution="parallel"``): each rank becomes a real worker process
+exchanging halos through a :class:`repro.runtime.shm.SharedArena`, and
+the table reports **measured** wall-clock speedup and efficiency next
+to the Amdahl prediction derived from the serial step's own stage
+timings.  The parallel step's fields and communication ledger must
+match the serial (driver-executed) step exactly -- the speedup row is
+only meaningful because the answer is provably the same."""
+
+import os
+import time
 
 import numpy as np
 import pytest
@@ -126,6 +138,83 @@ def test_fig13_executed_ledger(executed, smoke, mech):
     halo_bytes = [per_p[p]["bytes"] for p in rank_counts]
     assert np.all(np.diff(halo_bytes) > 0)
     emit("Fig. 13 (executed): measured communication ledger", lines)
+
+
+def test_fig13_parallel_measured(executed, parallel, smoke, mech):
+    """Measured vs modeled strong scaling of the shared-memory runtime.
+
+    Serial (driver-executed) and parallel (worker-process) runs of the
+    same decomposed configuration with live direct chemistry; the
+    modeled efficiency is the Amdahl bound from the serial step's own
+    stage timings (chemistry + assembly + solving parallelize, the
+    driver-side remainder does not).
+    """
+    if not (executed and parallel):
+        pytest.skip("pass --executed --parallel to run the shared-memory "
+                    "runtime bench")
+    from repro.core import IdealGasProperties, SolverSettings, build_tgv_case
+    from repro.dist import DecomposedSolver
+
+    n = 6 if smoke else 8
+    worker_counts = [2] if smoke else [2, 4]
+    n_steps = 2 if smoke else 3
+    dt = 1e-8
+    cpus = len(os.sched_getaffinity(0))
+    lines = [f"TGV {n}^3 cells, live direct chemistry, {n_steps} measured "
+             f"steps per config ({cpus} CPUs visible)",
+             "   W  t_serial/step  t_parallel/step  speedup  "
+             "eff meas  eff model  worst |dT|"]
+    for workers in worker_counts:
+        settings = SolverSettings(ranks=workers, chemistry="direct")
+
+        def build(execution):
+            return DecomposedSolver.from_settings(
+                build_tgv_case(n=n, mech=mech),
+                settings.overlay(execution=execution),
+                properties=IdealGasProperties(mech))
+
+        serial = build("serial")
+        serial.step(dt)  # warm-up
+        t0 = time.perf_counter()
+        for _ in range(n_steps):
+            serial.step(dt)
+        t_serial = (time.perf_counter() - t0) / n_steps
+        tm = serial.last_timings
+        # Amdahl bound from the serial step's own stage split: rank
+        # work (chemistry/properties, assembly, solves) parallelizes,
+        # the driver remainder does not
+        f_par = (tm.dnn + tm.construction + tm.solving) / tm.total
+        modeled = 1.0 / ((1.0 - f_par) + f_par / workers)
+
+        par = build("parallel")
+        par.step(dt)  # warm-up (pool is already live from construction)
+        t0 = time.perf_counter()
+        for _ in range(n_steps):
+            par.step(dt)
+        t_parallel = (time.perf_counter() - t0) / n_steps
+
+        # the speedup row is only meaningful because the answer is
+        # provably the same: ledger and fields must match the serial run
+        assert serial.last_comm == par.last_comm
+        worst = float(np.abs(serial.gather("T") - par.gather("T")).max())
+        assert worst <= 1e-8
+        assert serial.comm.ledger.totals() == par.comm.ledger.totals()
+
+        speedup = t_serial / t_parallel
+        lines.append(
+            f"  {workers:2d}  {t_serial*1e3:13.2f}  {t_parallel*1e3:15.2f}  "
+            f"{speedup:7.2f}  {speedup/workers*100:7.1f} %  "
+            f"{modeled/workers*100:8.1f} %  {worst:.2e}")
+        if cpus >= workers:
+            # the issue's wall-clock gate -- only enforceable when the
+            # host actually has a core per worker
+            if workers >= 4:
+                assert speedup >= 2.0, (workers, speedup)
+        else:
+            lines.append(f"      (speedup gate skipped: {cpus} CPUs "
+                         f"< {workers} workers)")
+        par.close()
+    emit("Fig. 13 (executed): shared-memory parallel runtime", lines)
 
 
 def _price_step(comm: dict, flops: int, nparts: int,

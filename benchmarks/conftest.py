@@ -27,6 +27,11 @@ def pytest_addoption(parser):
              "communication benches next to the analytic models",
     )
     parser.addoption(
+        "--parallel", action="store_true", default=False,
+        help="also run the shared-memory parallel-execution benches "
+             "(real worker processes; pair with --executed)",
+    )
+    parser.addoption(
         "--backend", action="store", default="numpy",
         help="array backend the kernel benches run through "
              "(a repro.backend registry name; default: numpy)",
@@ -52,6 +57,12 @@ def smoke(request) -> bool:
 def executed(request) -> bool:
     """True when the run was launched with ``--executed``."""
     return bool(request.config.getoption("--executed"))
+
+
+@pytest.fixture(scope="session")
+def parallel(request) -> bool:
+    """True when the run was launched with ``--parallel``."""
+    return bool(request.config.getoption("--parallel"))
 
 
 @pytest.fixture(scope="session")

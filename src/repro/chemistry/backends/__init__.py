@@ -14,7 +14,9 @@ actually computed:
   with a BDF fallback for ignition fronts,
 * :class:`SurrogateBackend` — batched ODENet inference,
 * :class:`HybridBackend` — trust-gated temperature/stiffness-split
-  DNN + ODE.
+  DNN + ODE,
+* :class:`ParallelChemistryBackend` — process-parallel fan-out of any
+  inner backend over a shared-memory worker pool.
 
 Use :func:`create_backend` to build one by name.
 """
@@ -24,6 +26,7 @@ from __future__ import annotations
 from .base import BackendStats, ChemistryBackend
 from .direct import DirectBatchBackend
 from .hybrid import TRUST_GATE_MODES, HybridBackend
+from .parallel import ParallelChemistryBackend
 from .percell import PerCellBDFBackend
 from .surrogate import FLOPS_PER_WORK_UNIT, SurrogateBackend
 
@@ -33,6 +36,7 @@ __all__ = [
     "DirectBatchBackend",
     "FLOPS_PER_WORK_UNIT",
     "HybridBackend",
+    "ParallelChemistryBackend",
     "PerCellBDFBackend",
     "SurrogateBackend",
     "TRUST_GATE_MODES",

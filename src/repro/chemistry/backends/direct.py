@@ -236,7 +236,7 @@ class DirectBatchBackend(ChemistryBackend):
         return groups
 
     # ------------------------------------------------------------------
-    def advance(self, y, t, p, dt):
+    def advance(self, y, t, p, dt, cell_ids=None):
         """Advance the batch via graded RK4/ROS2 sub-batches.
 
         Cells are classified by the stiffness indicator, integrated

@@ -64,8 +64,12 @@ class HybridBackend(ChemistryBackend):
         Max |dY| discrepancy between surrogate and direct above which
         an audited cell counts as a failure (and is buffered as OOD).
     audit_seed:
-        Seed of the audit-sampling RNG — audits are deterministic for
-        a given construction and call sequence.
+        Seed of the audit sampling.  Audits are chosen by a stateless
+        per-cell Bernoulli draw (:func:`repro.runtime.seeding.hash_uniform`
+        keyed by ``(audit_seed, advance counter, cell id)``), so the
+        audited set depends only on cell identities — splitting a
+        batch across any number of workers audits exactly the same
+        cells.
     ood_capacity:
         Max buffered OOD states (oldest dropped first).
     """
@@ -100,7 +104,10 @@ class HybridBackend(ChemistryBackend):
         self.trust_gate = trust_gate
         self.audit_fraction = float(audit_fraction)
         self.audit_tol = float(audit_tol)
-        self._audit_rng = np.random.default_rng(audit_seed)
+        self.audit_seed = int(audit_seed)
+        #: advance-call counter: successive calls sample fresh audit
+        #: sets (the hash's stream coordinate)
+        self._audit_calls = 0
         self.ood_capacity = int(ood_capacity)
         self._ood: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
         self._ood_size = 0
@@ -193,16 +200,22 @@ class HybridBackend(ChemistryBackend):
                           + audit * est[idx_s])
         return est
 
-    def advance(self, y, t, p, dt):
+    def advance(self, y, t, p, dt, cell_ids=None):
         """Advance the batch through the trust-gated split.
 
         Returns ``(Y_new, T_new, stats)`` with a per-child
         ``stats.per_backend`` breakdown and the call's gate counters in
         ``stats.gate``; cumulative counters live on
-        :attr:`counters`.
+        :attr:`counters`.  ``cell_ids`` (default: the row indices)
+        keys the audit sampling, making the audited set invariant
+        under any worker split of the batch.
         """
         y, t, p = self._as_batch(y, t, p)
         n = t.shape[0]
+        cell_ids = (np.arange(n) if cell_ids is None
+                    else np.asarray(cell_ids))
+        audit_stream = self._audit_calls
+        self._audit_calls += 1
         t0 = time.perf_counter()
         mask, gated_out = self._split(y, t, p, dt)
         idx_s = np.flatnonzero(mask)
@@ -226,8 +239,8 @@ class HybridBackend(ChemistryBackend):
             stats.sub_batches.append(("surrogate", idx_s.size,
                                       int(st.total_work)))
             if self.trust_gate == "domain+audit" and self.audit_fraction > 0:
-                self._audit(y, t, p, dt, idx_s, y_new, t_new, work,
-                            gate, stats)
+                self._audit(y, t, p, dt, idx_s, cell_ids, audit_stream,
+                            y_new, t_new, work, gate, stats)
         if idx_d.size:
             yd, td, st = self.direct.advance(y[idx_d], t[idx_d], p[idx_d], dt)
             y_new[idx_d], t_new[idx_d] = yd, td
@@ -246,20 +259,32 @@ class HybridBackend(ChemistryBackend):
         stats.wall_time = time.perf_counter() - t0
         return y_new, t_new, stats
 
-    def _audit(self, y, t, p, dt, idx_s, y_new, t_new, work, gate,
-               stats) -> None:
+    def _audit(self, y, t, p, dt, idx_s, cell_ids, audit_stream,
+               y_new, t_new, work, gate, stats) -> None:
         """Spot-audit a sampled fraction of the surrogate cells.
+
+        Cells are picked by an independent per-cell Bernoulli draw
+        keyed by ``(audit_seed, advance counter, cell id)`` — a pure
+        function of each cell's identity, so the same cells are
+        audited however the batch is chunked across workers.  When the
+        draw selects nobody, the eligible cell with the smallest hash
+        score is audited instead (the at-least-one-audit guarantee;
+        per call, so a worker chunk whose draw came up empty audits
+        one extra cell).
 
         The audited cells re-run through the (step-doubling-validated)
         direct backend; they adopt the direct result — and the direct
         work price — and any cell whose surrogate prediction deviated
         beyond ``audit_tol`` is counted and buffered as OOD.
         """
-        n_audit = max(1, int(round(self.audit_fraction * idx_s.size)))
-        pick = self._audit_rng.choice(idx_s.size, size=min(n_audit,
-                                                           idx_s.size),
-                                      replace=False)
-        idx_a = idx_s[np.sort(pick)]
+        from ...runtime.seeding import hash_uniform
+
+        scores = hash_uniform(self.audit_seed, audit_stream,
+                              cell_ids[idx_s])
+        sel = scores < self.audit_fraction
+        if not sel.any():
+            sel[np.argmin(scores)] = True
+        idx_a = idx_s[sel]
         yd, td, st = self.direct.advance(y[idx_a], t[idx_a], p[idx_a], dt)
         disagreement = np.abs(y_new[idx_a] - yd).max(axis=1)
         failures = disagreement > self.audit_tol

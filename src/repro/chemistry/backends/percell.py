@@ -90,7 +90,7 @@ class PerCellBDFBackend(ChemistryBackend):
         return jac
 
     # ------------------------------------------------------------------
-    def advance(self, y, t, p, dt):
+    def advance(self, y, t, p, dt, cell_ids=None):
         """Advance every cell with its own stiff BDF solve.
 
         Returns ``(Y_new, T_new, stats)``; ``stats.work_per_cell``

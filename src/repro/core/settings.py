@@ -44,6 +44,7 @@ __all__ = [
     "PARTITION_METHODS",
     "KRYLOV_VARIANTS",
     "TRUST_GATE_MODES",
+    "EXECUTION_MODES",
     "resolve_settings",
     "build_chemistry",
     "build_solver",
@@ -66,6 +67,11 @@ PARTITION_METHODS = ("multilevel", "spectral", "greedy", "blocks")
 #: accepted ``SolverSettings.krylov_variant`` values (canonical home;
 #: ``repro.dist.krylov`` re-exports this tuple)
 KRYLOV_VARIANTS = ("synchronous", "overlapped")
+#: accepted ``SolverSettings.execution`` values: ``"serial"`` executes
+#: decomposed ranks rank-by-rank in the driver process over
+#: :class:`~repro.runtime.comm.SimulatedComm`; ``"parallel"`` runs one
+#: worker process per rank over the shared-memory fabric
+EXECUTION_MODES = ("serial", "parallel")
 
 #: sentinel distinguishing "caller did not pass this kwarg" from any
 #: real value (including None) in the legacy constructor signatures
@@ -138,6 +144,21 @@ class SolverSettings:
         Post the ghost refresh of every distributed matvec nonblocking
         and compute the interior rows while it is in flight
         (decomposed path only).
+    execution:
+        Decomposed-path execution mode (one of
+        :data:`EXECUTION_MODES`).  ``"serial"`` (default) advances
+        ranks rank-by-rank in the driver process over the simulated
+        fabric -- bitwise and allocation-identical to the historical
+        behaviour; ``"parallel"`` forks one worker process per rank
+        and runs the identical SPMD step over the shared-memory fabric
+        (:mod:`repro.runtime.shm`) on real cores.  Chemistry load
+        balancing is driver-centric and therefore serial-only.
+    chemistry_workers:
+        Process-parallel chemistry batch path: ``>= 2`` wraps the
+        direct/hybrid batch backend in a
+        :class:`~repro.chemistry.backends.ParallelChemistryBackend`
+        over that many forked workers; ``0``/``1`` keep the in-process
+        backend untouched.
     backend:
         Array backend name for the hot-path kernels (a
         :mod:`repro.backend` registry name).  ``"numpy"`` (default) is
@@ -169,6 +190,8 @@ class SolverSettings:
     krylov_variant: str = "synchronous"
     overlap_halo: bool = False
     backend: str = "numpy"
+    execution: str = "serial"
+    chemistry_workers: int = 0
 
     def __post_init__(self):
         # Accept plain dicts for the controls (the from_dict/CLI path).
@@ -190,6 +213,11 @@ class SolverSettings:
                       PARTITION_METHODS)
         _check_choice("krylov_variant", self.krylov_variant,
                       KRYLOV_VARIANTS)
+        _check_choice("execution", self.execution, EXECUTION_MODES)
+        if not isinstance(self.chemistry_workers, int) \
+                or self.chemistry_workers < 0:
+            raise ValueError(f"chemistry_workers must be a non-negative "
+                             f"int (got {self.chemistry_workers!r})")
         if not isinstance(self.backend, str):
             raise TypeError(
                 f"backend must be a registry name string "
@@ -214,6 +242,11 @@ class SolverSettings:
         if self.balance_chemistry != "none" and self.ranks < 2:
             raise ValueError(
                 "balance_chemistry requires a decomposed run (ranks >= 2)")
+        if self.execution == "parallel" \
+                and self.balance_chemistry != "none":
+            raise ValueError(
+                "balance_chemistry is driver-centric and runs under "
+                "execution='serial' only")
         return self
 
     @property
@@ -361,6 +394,17 @@ def build_chemistry(settings: SolverSettings, mech):
         ODENetChemistry,
     )
 
+    def wrap(adapter):
+        """Fan the adapter's backend out over worker processes when
+        ``settings.chemistry_workers`` asks for >= 2 workers."""
+        if settings.chemistry_workers >= 2:
+            from ..chemistry.backends import ParallelChemistryBackend
+
+            adapter.backend = ParallelChemistryBackend(
+                adapter.backend, settings.chemistry_workers,
+                base_seed=settings.partition_seed)
+        return adapter
+
     opts = dict(settings.chemistry_options)
     kind = settings.chemistry
     if kind == "none":
@@ -368,7 +412,7 @@ def build_chemistry(settings: SolverSettings, mech):
     if kind == "percell":
         return DirectChemistry(mech, **opts)
     if kind == "direct":
-        return BatchedChemistry(mech, **opts)
+        return wrap(BatchedChemistry(mech, **opts))
     if kind == "hybrid-trained":
         odenet = opts.pop("odenet", None)
         if odenet is None:
@@ -388,15 +432,15 @@ def build_chemistry(settings: SolverSettings, mech):
         # the window wide open unless the caller narrows it
         opts.setdefault("t_window", (0.0, 1e9))
         opts.setdefault("trust_gate", settings.trust_gate)
-        return HybridChemistry(mech, odenet, **opts)
+        return wrap(HybridChemistry(mech, odenet, **opts))
     odenet = opts.pop("odenet", None)
     if odenet is None:
         raise ValueError(
             f"chemistry={kind!r} needs a trained net in "
             f"chemistry_options['odenet']")
     if kind == "surrogate":
-        return ODENetChemistry(odenet, **opts)
-    return HybridChemistry(mech, odenet, **opts)
+        return wrap(ODENetChemistry(odenet, **opts))
+    return wrap(HybridChemistry(mech, odenet, **opts))
 
 
 def build_solver(case, settings: SolverSettings, properties=None,

@@ -87,6 +87,7 @@ class DecomposedSolver:
         balance_chemistry: str = _UNSET,
         balance_kwargs: dict | None = _UNSET,
         fast_assembly: bool = _UNSET,
+        execution: str = _UNSET,
         settings: SolverSettings | None = None,
     ):
         # Legacy spellings (nparts/method/seed/balance_kwargs) map onto
@@ -101,7 +102,8 @@ class DecomposedSolver:
             pressure_controls=pressure_controls,
             n_correctors=n_correctors, solve_momentum=solve_momentum,
             balance_chemistry=balance_chemistry,
-            balance_options=balance_kwargs, fast_assembly=fast_assembly)
+            balance_options=balance_kwargs, fast_assembly=fast_assembly,
+            execution=execution)
         if settings.ranks < 1:
             raise ValueError(
                 "DecomposedSolver needs a rank count: pass nparts or "
@@ -133,29 +135,43 @@ class DecomposedSolver:
 
             properties = DirectRealFluidProperties(case.mech)
         self.properties = properties
-        # Rank solvers always run the blocked coupled-transport path
-        # (the distributed Krylov layer solves the stacked block
-        # system); per-rank balance/decomposition fields are stripped.
-        rank_settings = settings.overlay(
-            transport="coupled", ranks=0, balance_chemistry="none",
-            balance_options={})
-        self.ranks = [
-            DeepFlameSolver(
-                _localize_case(case, sub), properties=properties,
-                chemistry=chemistry, settings=rank_settings)
-            for sub in self.decomp.subdomains
-        ]
-        # The rank constructors evaluated properties/enthalpy over
-        # local-plus-halo batches; re-sync the ghost rows from their
-        # owners (per-cell Newton convergence makes a recomputed ghost
-        # match its owner to rounding, but only the owner's actual
-        # value is *bitwise* identical) and rebuild the face mass flux
-        # so every cut face starts bitwise-consistent across its pair.
-        self._refresh([[*(getattr(r.props, f) for f in _PROP_FIELDS), r.h]
-                       for r in self.ranks])
-        for r, sub in self._pairs():
-            r.rho[sub.n_owned:] = r.props.rho[sub.n_owned:]
-            r.phi = r._face_mass_flux()
+        self._parallel = None
+        if settings.execution == "parallel":
+            # SPMD execution: the rank solvers live in forked worker
+            # processes (one per rank); the driver keeps self.comm as
+            # the ledger holder the per-rank ledgers merge back into.
+            from .spmd import ParallelExecutor
+
+            self.ranks = []
+            self._parallel = ParallelExecutor(
+                case, self.decomp, settings, self.comm, properties,
+                chemistry)
+        else:
+            # Rank solvers always run the blocked coupled-transport
+            # path (the distributed Krylov layer solves the stacked
+            # block system); per-rank balance/decomposition fields are
+            # stripped.
+            rank_settings = settings.overlay(
+                transport="coupled", ranks=0, balance_chemistry="none",
+                balance_options={})
+            self.ranks = [
+                DeepFlameSolver(
+                    _localize_case(case, sub), properties=properties,
+                    chemistry=chemistry, settings=rank_settings)
+                for sub in self.decomp.subdomains
+            ]
+            # The rank constructors evaluated properties/enthalpy over
+            # local-plus-halo batches; re-sync the ghost rows from
+            # their owners (per-cell Newton convergence makes a
+            # recomputed ghost match its owner to rounding, but only
+            # the owner's actual value is *bitwise* identical) and
+            # rebuild the face mass flux so every cut face starts
+            # bitwise-consistent across its pair.
+            self._refresh([[*(getattr(r.props, f) for f in _PROP_FIELDS),
+                            r.h] for r in self.ranks])
+            for r, sub in self._pairs():
+                r.rho[sub.n_owned:] = r.props.rho[sub.n_owned:]
+                r.phi = r._face_mass_flux()
 
         self.balancer: ChemistryLoadBalancer | None = None
         if settings.balance_chemistry != "none":
@@ -241,6 +257,8 @@ class DecomposedSolver:
     # -- one time step ---------------------------------------------------
     def step(self, dt: float) -> StepDiagnostics:
         """Advance all ranks by one dt (collectively)."""
+        if self._parallel is not None:
+            return self._step_parallel(dt)
         led = self.comm.ledger
         led0 = led.totals()
         tm = StepTimings()
@@ -305,6 +323,24 @@ class DecomposedSolver:
         self.last_diag = diag
         for r in self.ranks:
             r.last_diag = diag
+        self.last_comm = led.delta(led0)
+        return diag
+
+    def _step_parallel(self, dt: float) -> StepDiagnostics:
+        """One SPMD step on the worker pool (ledger merged back here).
+
+        The returned diagnostics are rank 0's view: every field except
+        ``solver_flops`` is bitwise identical across ranks (and to the
+        serial path); the flop count prices rank 0's local rows only.
+        """
+        led = self.comm.ledger
+        led0 = led.totals()
+        res = self._parallel.step(dt)
+        diag = res["diag"]
+        self.current_time = diag.time
+        self.step_count = diag.step
+        self.last_timings = res["timings"]
+        self.last_diag = diag
         self.last_comm = led.delta(led0)
         return diag
 
@@ -388,6 +424,8 @@ class DecomposedSolver:
     def gather(self, name: str) -> np.ndarray:
         """A state field in global cell order ('y', 'h', 'p', 'u',
         'rho' or 'T')."""
+        if self._parallel is not None:
+            return self._parallel.gather(name)
         per = {
             "y": lambda r: r.y,
             "h": lambda r: r.h,
@@ -399,3 +437,22 @@ class DecomposedSolver:
         if name not in per:
             raise KeyError(f"unknown field {name!r}")
         return self.decomp.gather_cells([per[name](r) for r in self.ranks])
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        """Release parallel-execution resources (serial: a no-op).
+
+        Shuts the worker pool down and unlinks the shared arena;
+        idempotent, and also registered via the arena's own ``atexit``
+        hook, so a leaked solver cannot leave segments behind.
+        """
+        if self._parallel is not None:
+            self._parallel.close()
+
+    def __enter__(self) -> "DecomposedSolver":
+        """Context-manager entry (returns the solver)."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Release parallel-execution resources on context exit."""
+        self.close()

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..chemistry.backends.direct import _DEFAULT_ROS2_BINS, DirectBatchBackend
+from ..runtime.seeding import hash_normal
 
 __all__ = ["TrainingSet", "REGIMES", "sample_regime", "sample_solver_states",
            "build_training_set"]
@@ -262,12 +263,13 @@ def sample_regime(
     states, and labels everything with one direct-backend ``advance``
     over ``dt``.
 
-    Deterministic given ``seed`` (jitter and the backend are both
-    seed-free or seeded from it); ``case_kwargs`` go to the regime's
+    Deterministic given ``seed``: the jitter replicas are stateless
+    hashes of ``(seed, copy, element id)``
+    (:mod:`repro.runtime.seeding`), so they are invariant under any
+    chunking of the collection; ``case_kwargs`` go to the regime's
     case builder (e.g. ``{"t_hot": 2000.0}`` for a hotter blob).
     """
     backend = backend or DirectBatchBackend(mech)
-    rng = np.random.default_rng(seed)
     case = _build_case(regime, mech, n, case_kwargs)
     t0 = case.temperature.copy()
     y0 = case.mass_fractions.copy()
@@ -289,12 +291,21 @@ def sample_regime(
         p_all = np.concatenate([p_all, p_tr])
         y_all = np.vstack([y_all, y_tr])
 
+    # jitter is keyed by (seed, copy stream, element id) -- stateless
+    # hashes, not draw order -- so the replicas are identical no matter
+    # how the collection is chunked or parallelized
+    m = t_all.shape[0]
+    row_ids = np.arange(m, dtype=np.int64)
+    elem_ids = np.arange(y_all.size, dtype=np.int64).reshape(y_all.shape)
     t_parts, p_parts, y_parts = [t_all], [p_all], [y_all]
-    for _ in range(jitter_copies):
-        jt = t_all * (1.0 + rng.normal(0.0, jitter_t, t_all.shape))
-        jp = p_all * (1.0 + rng.normal(0.0, jitter_p, p_all.shape))
-        jy = np.clip(y_all * (1.0 + rng.normal(0.0, jitter_y, y_all.shape)),
-                     0.0, None)
+    for c in range(jitter_copies):
+        jt = t_all * (1.0 + jitter_t * hash_normal(seed, 3 * c, row_ids))
+        jp = p_all * (1.0 + jitter_p * hash_normal(seed, 3 * c + 1,
+                                                   row_ids))
+        jy = np.clip(
+            y_all * (1.0 + jitter_y * hash_normal(seed, 3 * c + 2,
+                                                  elem_ids)),
+            0.0, None)
         jy /= jy.sum(axis=1, keepdims=True)
         t_parts.append(jt)
         p_parts.append(jp)

@@ -43,6 +43,35 @@ from .settings_manager import SettingsManager
 __all__ = ["Conduit", "Ensemble"]
 
 
+class _EnsembleWorker:
+    """Worker-side handler owning one round-robin share of instances."""
+
+    def __init__(self, instances, indices):
+        self.instances = instances
+        self.indices = indices
+
+    def step_all(self, dt: float):
+        """Step every owned instance; returns ``(index, diag,
+        counters)`` triples with the instance's cumulative cost."""
+        out = []
+        for i, inst in zip(self.indices, self.instances):
+            diag = inst.step(dt)
+            out.append((i, diag, {
+                "steps": inst.steps,
+                "timings": inst.timings,
+                "solver_flops": inst.solver_flops,
+                "solver_iterations": inst.solver_iterations,
+                "chemistry_work": inst.chemistry_work,
+                "chemistry_cells": inst.chemistry_cells,
+            }))
+        return out
+
+    def snapshot_all(self):
+        """Deep state snapshots of every owned instance's solver."""
+        return [(i, inst.solver.state_snapshot())
+                for i, inst in zip(self.indices, self.instances)]
+
+
 @dataclass(frozen=True)
 class Conduit:
     """A directed port connection between two instances.
@@ -82,6 +111,22 @@ class Ensemble:
         Optional pre-built port fabric; by default one
         :class:`SimulatedComm` with one rank per instance is created
         at the first step (after which the member list is frozen).
+    parallel:
+        Round-robin the instances across a persistent forked
+        :class:`~repro.runtime.executor.WorkerPool` instead of stepping
+        them sequentially.  The pool forks lazily at the first step (so
+        workers inherit the fully built instances copy-on-write);
+        instance ``i`` lives on worker ``i % workers`` for the rest of
+        the run.  Conduits are incompatible with parallel execution
+        (port routing is inherently sequential) and raise; decomposed
+        instances are likewise refused.  ``pre_step``/``post_step``
+        hooks run inside the worker process.  Driver-side solver state
+        is refreshed from the workers lazily -- transparently on
+        :meth:`SolverInstance.field` access, or explicitly via
+        :meth:`sync`.
+    workers:
+        Worker-process count for ``parallel=True`` (default:
+        ``min(4, len(instances))``).
     """
 
     #: cache key of the default (constructor-supplied) case
@@ -90,7 +135,8 @@ class Ensemble:
     def __init__(self, case_builder=None, base: SolverSettings | None = None,
                  overlays: dict[str, dict] | None = None, properties=None,
                  cache: CaseCache | None = None,
-                 comm: SimulatedComm | None = None):
+                 comm: SimulatedComm | None = None,
+                 parallel: bool = False, workers: int | None = None):
         self.manager = SettingsManager(base, overlays)
         self.cache = cache if cache is not None else CaseCache()
         self._properties = properties
@@ -109,6 +155,10 @@ class Ensemble:
         self.conduits: list[Conduit] = []
         self.comm = comm
         self.step_count = 0
+        self.parallel = bool(parallel)
+        self.workers = workers
+        self._pool = None
+        self._stale = False
 
     # -- membership -----------------------------------------------------
     def add_instance(self, name: str, index: int | None = None,
@@ -173,6 +223,10 @@ class Ensemble:
         """Declare a conduit, muscle3-style: ``connect("macro.out",
         "micro[0].in")`` routes ``macro``'s port ``out`` to
         ``micro[0]``'s port ``in``."""
+        if self.parallel:
+            raise RuntimeError(
+                "conduits are incompatible with parallel=True: port "
+                "routing between instances is inherently sequential")
         s_name, s_port = src.rsplit(".", 1)
         d_name, d_port = dst.rsplit(".", 1)
         for endpoint in (s_name, d_name):
@@ -232,14 +286,88 @@ class Ensemble:
             pending = [item for item, _ in later]
             payloads = [data for _, data in later]
 
+    def _ensure_pool(self):
+        """Fork the worker pool over the frozen instance list."""
+        if self._pool is not None:
+            return self._pool
+        from ..runtime.executor import WorkerPool
+
+        if self.conduits:
+            raise RuntimeError(
+                "conduits are incompatible with parallel=True")
+        for inst in self.instances:
+            if inst.settings.is_decomposed:
+                raise RuntimeError(
+                    f"parallel=True requires serial instances; "
+                    f"{inst.name!r} is decomposed "
+                    f"(ranks={inst.settings.ranks})")
+        n = self.workers or min(4, len(self.instances))
+        n = max(1, min(n, len(self.instances)))
+        instances = self.instances
+
+        def factory(w: int) -> _EnsembleWorker:
+            idx = list(range(w, len(instances), n))
+            return _EnsembleWorker([instances[i] for i in idx], idx)
+
+        self._pool = WorkerPool(n, factory)
+        for inst in self.instances:
+            inst._stale_cb = self.sync
+        return self._pool
+
+    def _step_parallel(self, dt: float) -> list[StepDiagnostics]:
+        """One superstep across the worker pool."""
+        pool = self._ensure_pool()
+        diags: list = [None] * len(self.instances)
+        for triples in pool.broadcast("step_all", dt):
+            for i, diag, counters in triples:
+                diags[i] = diag
+                inst = self.instances[i]
+                for key, val in counters.items():
+                    setattr(inst, key, val)
+        self._stale = True
+        self.step_count += 1
+        return diags
+
+    def sync(self) -> None:
+        """Refresh driver-side solver state from the worker copies.
+
+        A no-op unless a parallel step has run since the last sync;
+        called automatically on :meth:`SolverInstance.field` access.
+        """
+        if not self._stale or self._pool is None:
+            return
+        self._stale = False
+        for snaps in self._pool.broadcast("snapshot_all"):
+            for i, snap in snaps:
+                self.instances[i].solver.restore_state(snap)
+
+    def close(self) -> None:
+        """Sync outstanding state and shut the worker pool down."""
+        if self._pool is not None:
+            self.sync()
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "Ensemble":
+        """Context-manager entry (returns the ensemble)."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Close the worker pool on context exit."""
+        self.close()
+
     def step(self, dt: float) -> list[StepDiagnostics]:
         """One ensemble superstep: every instance advances by ``dt``.
 
         Before each instance steps, all queued conduit messages are
         delivered -- so messages sent by earlier instances this step
         reach later ones within the same superstep, and the rest
-        arrive at the start of the next.
+        arrive at the start of the next.  With ``parallel=True`` the
+        instances advance concurrently across the worker pool instead
+        (no port routing).
         """
+        if self.parallel:
+            return self._step_parallel(dt)
         comm = self._ensure_fabric()
         diags = []
         for inst in self.instances:

@@ -85,6 +85,9 @@ class SolverInstance:
         #: callables ``hook(instance)`` run just before / after each step
         self.pre_step: list = []
         self.post_step: list = []
+        #: set by a parallel ensemble: called before state reads so the
+        #: driver-side solver can be refreshed from the worker copy
+        self._stale_cb = None
         # accumulated cost counters (the ledgered report reads these)
         self.steps = 0
         self.timings = StepTimings()
@@ -146,6 +149,8 @@ class SolverInstance:
         """A state field in global cell order (``'y'``, ``'h'``,
         ``'p'``, ``'u'``, ``'rho'`` or ``'T'``), regardless of whether
         the instance runs serial or decomposed."""
+        if self._stale_cb is not None:
+            self._stale_cb()
         if self.settings.is_decomposed:
             return self.solver.gather(name)
         if name not in _FIELD_GETTERS:

@@ -1,6 +1,8 @@
 """Simulated-HPC runtime: machine models of Sunway/Fugaku/LS, an
 alpha-beta communication model, the calibrated per-stage performance
-model and the strong/weak scaling drivers."""
+model, the strong/weak scaling drivers, and the shared-memory
+execution layer (worker pools, shared arenas, the real-process
+:class:`SharedMemComm`)."""
 
 from .comm import (
     CommLedger,
@@ -20,6 +22,7 @@ from .load_balance import (
     work_imbalance,
     workload_with_chemistry,
 )
+from .executor import WorkerError, WorkerPool
 from .machine import FUGAKU, LS_PILOT, MACHINES, SUNWAY, MachineSpec
 from .perf_model import (
     CALIBRATION,
@@ -31,6 +34,8 @@ from .perf_model import (
     tgv_workload,
 )
 from .scaling import ScalingPoint, ScalingSeries, strong_scaling, weak_scaling
+from .seeding import derive_worker_seed, hash_normal, hash_u64, hash_uniform
+from .shm import SharedArena, SharedMemComm
 
 __all__ = [
     "CALIBRATION",
@@ -48,11 +53,19 @@ __all__ = [
     "SUNWAY",
     "ScalingPoint",
     "ScalingSeries",
+    "SharedArena",
+    "SharedMemComm",
     "SimulatedComm",
+    "WorkerError",
+    "WorkerPool",
     "WorkloadSpec",
     "allreduce_time",
     "chemistry_balance_report",
+    "derive_worker_seed",
     "halo_exchange_time",
+    "hash_normal",
+    "hash_u64",
+    "hash_uniform",
     "overlapped_phase_time",
     "per_rank_imbalance",
     "price_balance_report",

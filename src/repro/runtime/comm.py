@@ -88,6 +88,32 @@ class CommLedger:
         per[0] += 1
         per[1] += int(nbytes)
 
+    def merge(self, other: "CommLedger") -> "CommLedger":
+        """Fold another ledger's counters into this one (in place).
+
+        The reduction step of multi-process execution: each worker
+        accounts its own rank's traffic in a private ledger (the
+        dataclass pickles cleanly through a pipe), and the driver
+        merges them back into the run's single ledger.  Counter-wise
+        addition with per-source attribution preserved -- merging the
+        per-rank ledgers of a :class:`~repro.runtime.shm.SharedMemComm`
+        run reproduces the serial :class:`SimulatedComm` ledger
+        bitwise.  Returns ``self`` for chaining over a worker list.
+        """
+        self.messages += other.messages
+        self.bytes_sent += other.bytes_sent
+        self.allreduces += other.allreduces
+        self.allreduce_bytes += other.allreduce_bytes
+        self.exchanges += other.exchanges
+        self.overlap_messages += other.overlap_messages
+        self.overlap_bytes += other.overlap_bytes
+        self.overlap_allreduces += other.overlap_allreduces
+        for src, (msgs, nbytes) in other.by_src.items():
+            per = self.by_src.setdefault(int(src), [0, 0])
+            per[0] += msgs
+            per[1] += nbytes
+        return self
+
     def src_totals(self, src: int) -> tuple[int, int]:
         """``(messages, bytes)`` sent by rank ``src`` so far."""
         per = self.by_src.get(int(src), (0, 0))
